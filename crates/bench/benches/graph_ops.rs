@@ -1,0 +1,64 @@
+//! Criterion microbenches for the graph substrate: ripple-set
+//! construction, PathSim matrices, path enumeration, neighbor sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgrec_data::synth::{generate, ScenarioConfig};
+use kgrec_data::UserId;
+use kgrec_graph::pathsim::pathsim_matrix;
+use kgrec_graph::ripple::ripple_sets;
+use kgrec_graph::sample::receptive_field;
+use kgrec_graph::{EntityId, MetaPath, RelationId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_graph(c: &mut Criterion) {
+    let synth = generate(&ScenarioConfig::movielens_100k_like(), 3);
+    let data = &synth.dataset;
+    let graph = &data.graph;
+    let seeds: Vec<EntityId> = data
+        .interactions
+        .items_of(UserId(0))
+        .iter()
+        .map(|&i| data.item_entities[i.index()])
+        .collect();
+
+    c.bench_function("ripple_sets_h2_m16", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            ripple_sets(graph, &seeds, 2, 16, true, &mut rng)
+        })
+    });
+
+    let mp = MetaPath::new(vec![
+        RelationId(0),
+        graph
+            .relation_by_name(&format!("{}_inv", graph.relation_name(RelationId(0))))
+            .expect("inverse exists"),
+    ]);
+    c.bench_function("pathsim_matrix_500_items", |b| {
+        b.iter(|| pathsim_matrix(graph, &data.item_entities, &mp))
+    });
+
+    c.bench_function("receptive_field_k4_h2", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            receptive_field(graph, data.item_entities[0], 4, 2, &mut rng)
+        })
+    });
+
+    let uig = data.user_item_graph(&data.interactions);
+    c.bench_function("enumerate_paths_3hop", |b| {
+        b.iter(|| {
+            kgrec_graph::paths::enumerate_paths(
+                &uig.graph,
+                uig.user_entities[0],
+                uig.item_entities[10],
+                3,
+                32,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

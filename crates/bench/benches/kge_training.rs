@@ -1,0 +1,58 @@
+//! Criterion microbenches: per-epoch training throughput of the five KGE
+//! algorithms (survey §4.1) on a fixed synthetic item KG.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kgrec_data::synth::{generate, ScenarioConfig};
+use kgrec_kge::{train, DistMult, TrainConfig, TransD, TransE, TransH, TransR};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_kge(c: &mut Criterion) {
+    let synth = generate(&ScenarioConfig::tiny(), 3);
+    let graph = synth.dataset.graph;
+    let cfg = TrainConfig { epochs: 1, learning_rate: 0.05, seed: 4 };
+    let n = graph.num_entities();
+    let r = graph.num_relations();
+    let dim = 16;
+
+    let mut group = c.benchmark_group("kge_epoch");
+    group.bench_function(BenchmarkId::new("TransE", dim), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut m = TransE::new(&mut rng, n, r, dim, 1.0);
+            train(&mut m, &graph, &cfg)
+        })
+    });
+    group.bench_function(BenchmarkId::new("TransH", dim), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut m = TransH::new(&mut rng, n, r, dim, 1.0);
+            train(&mut m, &graph, &cfg)
+        })
+    });
+    group.bench_function(BenchmarkId::new("TransR", dim), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut m = TransR::new(&mut rng, n, r, dim, dim, 1.0);
+            train(&mut m, &graph, &cfg)
+        })
+    });
+    group.bench_function(BenchmarkId::new("TransD", dim), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut m = TransD::new(&mut rng, n, r, dim, 1.0);
+            train(&mut m, &graph, &cfg)
+        })
+    });
+    group.bench_function(BenchmarkId::new("DistMult", dim), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut m = DistMult::new(&mut rng, n, r, dim);
+            train(&mut m, &graph, &cfg)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kge);
+criterion_main!(benches);

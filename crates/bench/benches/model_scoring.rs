@@ -1,0 +1,33 @@
+//! Criterion microbenches: full-catalog top-K scoring latency of fitted
+//! models (the serving-side cost the survey's §6 dynamic-recommendation
+//! discussion worries about).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgrec_bench::standard_split;
+use kgrec_core::{Recommender, TrainContext};
+use kgrec_data::synth::{generate, ScenarioConfig};
+use kgrec_data::UserId;
+use kgrec_models::baselines::BprMf;
+use kgrec_models::unified::{Kgcn, RippleNet};
+
+fn bench_scoring(c: &mut Criterion) {
+    let synth = generate(&ScenarioConfig::tiny(), 3);
+    let split = standard_split(&synth, 7);
+    let ctx = TrainContext::new(&synth.dataset, &split.train);
+
+    let mut bpr = BprMf::default_config();
+    bpr.fit(&ctx).unwrap();
+    let mut ripple = RippleNet::default_config();
+    ripple.fit(&ctx).unwrap();
+    let mut kgcn = Kgcn::default_config();
+    kgcn.fit(&ctx).unwrap();
+
+    let user = UserId(0);
+    let exclude = split.train.items_of(user);
+    c.bench_function("top10_bprmf", |b| b.iter(|| bpr.recommend(user, 10, exclude)));
+    c.bench_function("top10_ripplenet", |b| b.iter(|| ripple.recommend(user, 10, exclude)));
+    c.bench_function("top10_kgcn", |b| b.iter(|| kgcn.recommend(user, 10, exclude)));
+}
+
+criterion_group!(benches, bench_scoring);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion microbenches: one training step of the propagation-based
+//! (unified) models — the per-interaction cost the survey's §6 notes is
+//! the scalability bottleneck of GNN-style recommenders.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgrec_bench::standard_split;
+use kgrec_core::{Recommender, TrainContext};
+use kgrec_data::synth::{generate, ScenarioConfig};
+use kgrec_models::unified::{AkupmLite, AkupmLiteConfig, Kgcn, KgcnConfig, RippleNet, RippleNetConfig};
+
+fn bench_propagation(c: &mut Criterion) {
+    let synth = generate(&ScenarioConfig::tiny(), 3);
+    let split = standard_split(&synth, 7);
+    let ctx = TrainContext::new(&synth.dataset, &split.train);
+
+    c.bench_function("fit_epoch_ripplenet", |b| {
+        b.iter(|| {
+            let mut m = RippleNet::new(RippleNetConfig { epochs: 1, ..Default::default() });
+            m.fit(&ctx).unwrap();
+        })
+    });
+    c.bench_function("fit_epoch_kgcn", |b| {
+        b.iter(|| {
+            let mut m = Kgcn::new(KgcnConfig { epochs: 1, ..Default::default() });
+            m.fit(&ctx).unwrap();
+        })
+    });
+    c.bench_function("fit_epoch_akupm", |b| {
+        b.iter(|| {
+            let mut m = AkupmLite::new(AkupmLiteConfig { epochs: 1, kge_epochs: 1, ..Default::default() });
+            m.fit(&ctx).unwrap();
+        })
+    });
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Regenerates Table 1 of the survey: commonly used knowledge graphs.
+
+use kgrec_bench::print_text_table;
+use kgrec_core::kg_registry::{table1, used_in_recommenders};
+
+fn main() {
+    println!("TABLE 1 — A collection of commonly used knowledge graphs");
+    let rows: Vec<Vec<String>> = table1()
+        .into_iter()
+        .map(|e| {
+            let scale = match (e.entities, e.facts) {
+                (0, 0) => String::from("-"),
+                (0, f) => format!("~{} facts", human(f)),
+                (ent, 0) => format!("~{} entities", human(ent)),
+                (ent, f) => format!("~{} entities / {} facts", human(ent), human(f)),
+            };
+            vec![
+                e.name.to_owned(),
+                e.domain.label(),
+                e.sources.join(", "),
+                if e.year == 0 { "-".into() } else { e.year.to_string() },
+                scale,
+            ]
+        })
+        .collect();
+    print_text_table(
+        &["KG Name", "Domain Type", "Main Knowledge Source", "Since", "Scale (as quoted in §2.1)"],
+        &rows,
+    );
+    println!(
+        "\nKGs used by the surveyed recommender systems: {}",
+        used_in_recommenders().join(", ")
+    );
+}
+
+fn human(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{}B", n / 1_000_000_000)
+    } else if n >= 1_000_000 {
+        format!("{}M", n / 1_000_000)
+    } else {
+        n.to_string()
+    }
+}

@@ -1,0 +1,159 @@
+//! Harness utilities shared by the table/figure binaries and the
+//! evaluation suite.
+//!
+//! The binaries in `src/bin/` regenerate the survey's tables and figure:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — commonly used knowledge graphs |
+//! | `table3` | Table 3 — the method taxonomy (full literature + implemented subset) |
+//! | `table4` | Table 4 — datasets per scenario |
+//! | `figure1` | Figure 1 — the explainable movie-recommendation example |
+//! | `eval_suite` | the survey's qualitative claims, measured |
+//! | `ablation` | design-choice ablations (KGCN aggregators, RippleNet hops) |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use kgrec_core::protocol::{evaluate_ctr, evaluate_topk};
+use kgrec_core::{Recommender, TrainContext};
+use kgrec_data::negative::labeled_eval_set;
+use kgrec_data::split::{ratio_split, Split};
+use kgrec_data::synth::SyntheticDataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// One row of an evaluation table.
+#[derive(Debug, Clone)]
+pub struct EvalRow {
+    /// Model name.
+    pub model: &'static str,
+    /// Usage-type label (`Emb.` / `Path` / `Uni.` / `baseline`).
+    pub family: String,
+    /// CTR AUC.
+    pub auc: f64,
+    /// CTR accuracy.
+    pub accuracy: f64,
+    /// Recall@10 (full ranking).
+    pub recall_at_10: f64,
+    /// NDCG@10.
+    pub ndcg_at_10: f64,
+    /// HitRate@10.
+    pub hit_at_10: f64,
+    /// Wall-clock training seconds.
+    pub fit_seconds: f64,
+}
+
+/// Trains `model` on the split and evaluates it under both protocols.
+///
+/// Returns `None` when the model cannot fit this dataset (e.g. DKN
+/// without token lists) — the caller skips the row.
+pub fn evaluate_model(
+    model: &mut dyn Recommender,
+    synth: &SyntheticDataset,
+    split: &Split,
+    seed: u64,
+) -> Option<EvalRow> {
+    let ctx = TrainContext::new(&synth.dataset, &split.train);
+    let start = Instant::now();
+    if model.fit(&ctx).is_err() {
+        return None;
+    }
+    let fit_seconds = start.elapsed().as_secs_f64();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pairs = labeled_eval_set(&split.train, &split.test, 4, &mut rng);
+    let ctr = evaluate_ctr(model, &pairs);
+    let topk = evaluate_topk(model, &split.train, &split.test, &[10]);
+    let family = if model.taxonomy().venue == "baseline" {
+        "baseline".to_owned()
+    } else {
+        model.taxonomy().usage.label().to_owned()
+    };
+    Some(EvalRow {
+        model: model.name(),
+        family,
+        auc: ctr.auc,
+        accuracy: ctr.accuracy,
+        recall_at_10: topk.cutoffs[0].recall,
+        ndcg_at_10: topk.cutoffs[0].ndcg,
+        hit_at_10: topk.cutoffs[0].hit_rate,
+        fit_seconds,
+    })
+}
+
+/// Standard split used across the harness: 20% per-user holdout.
+pub fn standard_split(synth: &SyntheticDataset, seed: u64) -> Split {
+    ratio_split(&synth.dataset.interactions, 0.2, seed)
+}
+
+/// Prints an evaluation table in a fixed-width layout.
+pub fn print_eval_table(title: &str, rows: &[EvalRow]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<12} {:<9} {:>7} {:>7} {:>8} {:>8} {:>7} {:>8}",
+        "model", "family", "AUC", "ACC", "R@10", "NDCG@10", "HR@10", "fit(s)"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:<9} {:>7.4} {:>7.4} {:>8.4} {:>8.4} {:>7.4} {:>8.2}",
+            r.model,
+            r.family,
+            r.auc,
+            r.accuracy,
+            r.recall_at_10,
+            r.ndcg_at_10,
+            r.hit_at_10,
+            r.fit_seconds
+        );
+    }
+}
+
+/// Renders a plain-text table with a header and aligned columns (used by
+/// the table1/table3/table4 binaries).
+pub fn print_text_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<&str>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.to_vec());
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    println!("{}", "-".repeat(total));
+    for row in rows {
+        line(row.iter().map(String::as_str).collect());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgrec_data::synth::{generate, ScenarioConfig};
+    use kgrec_models::baselines::MostPop;
+
+    #[test]
+    fn evaluate_model_produces_sane_row() {
+        let synth = generate(&ScenarioConfig::tiny(), 1);
+        let split = standard_split(&synth, 2);
+        let mut model = MostPop::new();
+        let row = evaluate_model(&mut model, &synth, &split, 3).unwrap();
+        assert_eq!(row.model, "MostPop");
+        assert!(row.auc > 0.0 && row.auc <= 1.0);
+        assert!(row.recall_at_10 >= 0.0 && row.recall_at_10 <= 1.0);
+    }
+
+    #[test]
+    fn text_table_does_not_panic_on_ragged_rows() {
+        print_text_table(&["a", "b"], &[vec!["x".into(), "yyy".into()]]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Error types of the framework layer.
+
+use std::fmt;
+
+/// Errors surfaced by training and evaluation.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The dataset is unusable for the model (e.g. a text model given a
+    /// dataset without token lists).
+    InvalidDataset {
+        /// What is missing or inconsistent.
+        message: String,
+    },
+    /// The model was queried before `fit` succeeded.
+    NotFitted,
+    /// A hyper-parameter is out of its valid range.
+    InvalidConfig {
+        /// Which parameter and why.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidDataset { message } => write!(f, "invalid dataset: {message}"),
+            CoreError::NotFitted => write!(f, "model queried before fit"),
+            CoreError::InvalidConfig { message } => write!(f, "invalid config: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_readable() {
+        let e = CoreError::InvalidDataset { message: "no token lists".into() };
+        assert_eq!(e.to_string(), "invalid dataset: no token lists");
+        assert_eq!(CoreError::NotFitted.to_string(), "model queried before fit");
+    }
+}

@@ -1,0 +1,185 @@
+//! The Table 1 catalog: commonly used public knowledge graphs.
+//!
+//! Includes the scale figures quoted in Section 2.1 of the survey where
+//! the paper states them. The `table1` harness binary renders this
+//! registry in the paper's layout.
+
+/// Domain coverage of a knowledge graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainType {
+    /// General-purpose, multi-domain knowledge.
+    CrossDomain,
+    /// Restricted to one domain (the survey lists biological/biomedical).
+    DomainSpecific(&'static str),
+}
+
+impl DomainType {
+    /// Display label matching the paper.
+    pub fn label(self) -> String {
+        match self {
+            DomainType::CrossDomain => "Cross-Domain".to_owned(),
+            DomainType::DomainSpecific(d) => format!("{d} Domain"),
+        }
+    }
+}
+
+/// One Table 1 row.
+#[derive(Debug, Clone)]
+pub struct KgEntry {
+    /// KG name.
+    pub name: &'static str,
+    /// Domain type.
+    pub domain: DomainType,
+    /// Main knowledge sources, as listed in the paper.
+    pub sources: &'static [&'static str],
+    /// Launch year mentioned in Section 2.1 (0 = not stated).
+    pub year: u16,
+    /// Approximate entity count stated in Section 2.1 (0 = not stated).
+    pub entities: u64,
+    /// Approximate fact/relation count stated in Section 2.1 (0 = not
+    /// stated).
+    pub facts: u64,
+}
+
+/// The full Table 1 registry, in the paper's row order.
+pub fn table1() -> Vec<KgEntry> {
+    use DomainType::*;
+    vec![
+        KgEntry {
+            name: "YAGO",
+            domain: CrossDomain,
+            sources: &["Wikipedia", "WordNet", "GeoNames"],
+            year: 2007,
+            entities: 0,
+            facts: 5_000_000,
+        },
+        KgEntry {
+            name: "Freebase",
+            domain: CrossDomain,
+            sources: &["Wikipedia", "NNDB", "FMD", "MusicBrainz"],
+            year: 2007,
+            entities: 50_000_000,
+            facts: 3_000_000_000,
+        },
+        KgEntry {
+            name: "DBpedia",
+            domain: CrossDomain,
+            sources: &["Wikipedia"],
+            year: 2007,
+            entities: 0,
+            facts: 0,
+        },
+        KgEntry {
+            name: "Satori",
+            domain: CrossDomain,
+            sources: &["Web Data"],
+            year: 2012,
+            entities: 300_000_000,
+            facts: 800_000_000,
+        },
+        KgEntry {
+            name: "CN-DBPedia",
+            domain: CrossDomain,
+            sources: &["Baidu Baike", "Hudong Baike", "Wikipedia (Chinese)"],
+            year: 2015,
+            entities: 16_000_000,
+            facts: 220_000_000,
+        },
+        KgEntry {
+            name: "NELL",
+            domain: CrossDomain,
+            sources: &["Web Data"],
+            year: 2010,
+            entities: 0,
+            facts: 0,
+        },
+        KgEntry {
+            name: "Wikidata",
+            domain: CrossDomain,
+            sources: &["Wikipedia", "Freebase"],
+            year: 2012,
+            entities: 0,
+            facts: 0,
+        },
+        KgEntry {
+            name: "Google's Knowledge Graph",
+            domain: CrossDomain,
+            sources: &["Web data"],
+            year: 2012,
+            entities: 0,
+            facts: 0,
+        },
+        KgEntry {
+            name: "Facebook's Entities Graph",
+            domain: CrossDomain,
+            sources: &["Wikipedia", "Facebook data"],
+            year: 2013,
+            entities: 0,
+            facts: 0,
+        },
+        KgEntry {
+            name: "Bio2RDF",
+            domain: DomainSpecific("Biological"),
+            sources: &["Public bioinformatics databases", "NCBI's databases"],
+            year: 2008,
+            entities: 0,
+            facts: 0,
+        },
+        KgEntry {
+            name: "KnowLife",
+            domain: DomainSpecific("Biomedical"),
+            sources: &["Scientific literature", "Web portals"],
+            year: 2014,
+            entities: 0,
+            facts: 0,
+        },
+    ]
+}
+
+/// The six cross-domain KGs the survey says are used by the collected
+/// recommender systems.
+pub fn used_in_recommenders() -> Vec<&'static str> {
+    vec!["Freebase", "DBpedia", "YAGO", "Satori", "CN-DBPedia", "Wikidata"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_11_rows() {
+        assert_eq!(table1().len(), 11);
+    }
+
+    #[test]
+    fn domain_split_matches_paper() {
+        let t = table1();
+        let cross = t.iter().filter(|e| e.domain == DomainType::CrossDomain).count();
+        assert_eq!(cross, 9);
+        assert_eq!(t.len() - cross, 2);
+    }
+
+    #[test]
+    fn quoted_scales_present() {
+        let t = table1();
+        let freebase = t.iter().find(|e| e.name == "Freebase").unwrap();
+        assert_eq!(freebase.facts, 3_000_000_000);
+        assert_eq!(freebase.entities, 50_000_000);
+        let satori = t.iter().find(|e| e.name == "Satori").unwrap();
+        assert_eq!(satori.entities, 300_000_000);
+    }
+
+    #[test]
+    fn recommender_kgs_subset_of_table() {
+        let t = table1();
+        for name in used_in_recommenders() {
+            assert!(t.iter().any(|e| e.name == name), "{name} missing from Table 1");
+        }
+    }
+
+    #[test]
+    fn domain_labels() {
+        assert_eq!(DomainType::CrossDomain.label(), "Cross-Domain");
+        assert_eq!(DomainType::DomainSpecific("Biological").label(), "Biological Domain");
+    }
+}

@@ -1,0 +1,220 @@
+//! Ranking and classification metrics used across the surveyed papers.
+//!
+//! Two evaluation styles appear in the literature: **CTR prediction**
+//! (pointwise scores against binary labels — AUC, accuracy) and **top-K
+//! recommendation** (ranked lists against held-out positives — Precision,
+//! Recall, NDCG, HitRate, MRR). All functions here are pure and operate on
+//! already-scored data so they are trivially testable.
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney) formulation.
+///
+/// Ties receive half credit. Returns `None` when either class is empty
+/// (AUC is undefined then).
+///
+/// ```
+/// use kgrec_core::metrics::auc;
+/// let perfect = [(0.9, true), (0.1, false)];
+/// assert_eq!(auc(&perfect), Some(1.0));
+/// assert_eq!(auc(&[(0.5, true)]), None); // one class only
+/// ```
+pub fn auc(scores_labels: &[(f32, bool)]) -> Option<f64> {
+    let pos = scores_labels.iter().filter(|(_, l)| *l).count();
+    let neg = scores_labels.len() - pos;
+    if pos == 0 || neg == 0 {
+        return None;
+    }
+    // Rank-based: sum of ranks of positives.
+    let mut sorted: Vec<(f32, bool)> = scores_labels.to_vec();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    // Average ranks over tie groups.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0usize;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1].0 == sorted[i].0 {
+            j += 1;
+        }
+        // ranks i+1 ..= j+1 share the average rank.
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for item in &sorted[i..=j] {
+            if item.1 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let pos_f = pos as f64;
+    let neg_f = neg as f64;
+    Some((rank_sum_pos - pos_f * (pos_f + 1.0) / 2.0) / (pos_f * neg_f))
+}
+
+/// Classification accuracy at threshold 0.5 on sigmoid-like scores.
+pub fn accuracy(scores_labels: &[(f32, bool)], threshold: f32) -> Option<f64> {
+    if scores_labels.is_empty() {
+        return None;
+    }
+    let correct = scores_labels
+        .iter()
+        .filter(|(s, l)| (*s >= threshold) == *l)
+        .count();
+    Some(correct as f64 / scores_labels.len() as f64)
+}
+
+/// Precision@K: fraction of the top-K ranked items that are relevant.
+///
+/// `ranked` is the recommendation list (best first); `relevant` is the
+/// held-out positive set. `K = min(k, ranked.len())` denominates — by
+/// convention an empty list gives 0.
+pub fn precision_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
+    if ranked.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let k = k.min(ranked.len());
+    let hits = ranked[..k].iter().filter(|i| relevant.contains(i)).count();
+    hits as f64 / k as f64
+}
+
+/// Recall@K: fraction of the relevant items found in the top K.
+/// Returns 0 when `relevant` is empty.
+pub fn recall_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
+    if relevant.is_empty() || ranked.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let k = k.min(ranked.len());
+    let hits = ranked[..k].iter().filter(|i| relevant.contains(i)).count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// NDCG@K with binary relevance: `DCG = Σ 1/log₂(rank+1)` over hits,
+/// normalized by the ideal DCG.
+pub fn ndcg_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
+    if relevant.is_empty() || ranked.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let k = k.min(ranked.len());
+    let mut dcg = 0.0f64;
+    for (rank, item) in ranked[..k].iter().enumerate() {
+        if relevant.contains(item) {
+            dcg += 1.0 / ((rank + 2) as f64).log2();
+        }
+    }
+    let ideal_hits = relevant.len().min(k);
+    let idcg: f64 = (0..ideal_hits).map(|r| 1.0 / ((r + 2) as f64).log2()).sum();
+    if idcg == 0.0 {
+        0.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// HitRate@K: 1 when any relevant item appears in the top K, else 0.
+pub fn hit_rate_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
+    if relevant.is_empty() || ranked.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let k = k.min(ranked.len());
+    if ranked[..k].iter().any(|i| relevant.contains(i)) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Mean reciprocal rank of the *first* relevant item (0 if none appears).
+pub fn mrr(ranked: &[u32], relevant: &[u32]) -> f64 {
+    for (rank, item) in ranked.iter().enumerate() {
+        if relevant.contains(item) {
+            return 1.0 / (rank + 1) as f64;
+        }
+    }
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let perfect = [(0.9f32, true), (0.8, true), (0.2, false), (0.1, false)];
+        assert_eq!(auc(&perfect), Some(1.0));
+        let inverted = [(0.1f32, true), (0.2, true), (0.8, false), (0.9, false)];
+        assert_eq!(auc(&inverted), Some(0.0));
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // All-tied scores: AUC must be exactly 0.5 under tie handling.
+        let tied = [(0.5f32, true), (0.5, false), (0.5, true), (0.5, false)];
+        let a = auc(&tied).unwrap();
+        assert!((a - 0.5).abs() < 1e-12, "a={a}");
+    }
+
+    #[test]
+    fn auc_undefined_for_single_class() {
+        assert_eq!(auc(&[(0.5, true)]), None);
+        assert_eq!(auc(&[(0.5, false), (0.2, false)]), None);
+        assert_eq!(auc(&[]), None);
+    }
+
+    #[test]
+    fn accuracy_threshold() {
+        let data = [(0.9f32, true), (0.4, false), (0.6, false)];
+        assert_eq!(accuracy(&data, 0.5), Some(2.0 / 3.0));
+        assert_eq!(accuracy(&[], 0.5), None);
+    }
+
+    #[test]
+    fn precision_recall_known_values() {
+        let ranked = [1u32, 2, 3, 4, 5];
+        let relevant = [2u32, 5, 9];
+        assert_eq!(precision_at_k(&ranked, &relevant, 3), 1.0 / 3.0);
+        assert_eq!(recall_at_k(&ranked, &relevant, 3), 1.0 / 3.0);
+        assert_eq!(recall_at_k(&ranked, &relevant, 5), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn ndcg_position_sensitivity() {
+        let relevant = [7u32];
+        let first = ndcg_at_k(&[7, 1, 2], &relevant, 3);
+        let last = ndcg_at_k(&[1, 2, 7], &relevant, 3);
+        assert_eq!(first, 1.0);
+        assert!(last < first && last > 0.0);
+    }
+
+    #[test]
+    fn ndcg_perfect_list_is_one() {
+        let relevant = [1u32, 2, 3];
+        assert!((ndcg_at_k(&[1, 2, 3, 4], &relevant, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_binary() {
+        assert_eq!(hit_rate_at_k(&[1, 2, 3], &[3], 3), 1.0);
+        assert_eq!(hit_rate_at_k(&[1, 2, 3], &[3], 2), 0.0);
+        assert_eq!(hit_rate_at_k(&[1, 2, 3], &[], 3), 0.0);
+    }
+
+    #[test]
+    fn mrr_first_hit() {
+        assert_eq!(mrr(&[5, 9, 3], &[3, 9]), 0.5);
+        assert_eq!(mrr(&[5, 9, 3], &[8]), 0.0);
+        assert_eq!(mrr(&[8], &[8]), 1.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero_not_panic() {
+        assert_eq!(precision_at_k(&[], &[1], 5), 0.0);
+        assert_eq!(recall_at_k(&[1], &[], 5), 0.0);
+        assert_eq!(ndcg_at_k(&[], &[], 5), 0.0);
+        assert_eq!(mrr(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn k_larger_than_list_clamps() {
+        let ranked = [1u32, 2];
+        let relevant = [2u32];
+        assert_eq!(precision_at_k(&ranked, &relevant, 10), 0.5);
+        assert_eq!(recall_at_k(&ranked, &relevant, 10), 1.0);
+    }
+}

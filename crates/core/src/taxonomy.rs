@@ -1,0 +1,228 @@
+//! The survey's method taxonomy (Table 3), as typed data.
+//!
+//! Every model in `kgrec-models` carries a [`Taxonomy`] describing how it
+//! uses the knowledge graph (the three usage types of Section 4) and
+//! which framework techniques it employs (the technique columns of
+//! Table 3). [`table3`] reproduces the paper's full 39-entry literature
+//! table; the `table3` harness binary renders it.
+
+/// How a method uses the knowledge graph (survey Section 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UsageType {
+    /// Embedding-based: KGE-derived representations enrich users/items.
+    EmbeddingBased,
+    /// Path-based: connectivity patterns (meta-paths/graphs) drive scores.
+    PathBased,
+    /// Unified: embedding propagation combines both information kinds.
+    Unified,
+}
+
+impl UsageType {
+    /// Display label matching the paper's abbreviations.
+    pub fn label(self) -> &'static str {
+        match self {
+            UsageType::EmbeddingBased => "Emb.",
+            UsageType::PathBased => "Path",
+            UsageType::Unified => "Uni.",
+        }
+    }
+}
+
+/// Framework techniques (the right-hand columns of Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// Convolutional neural network.
+    Cnn,
+    /// Recurrent neural network.
+    Rnn,
+    /// Attention mechanism.
+    Attention,
+    /// Graph neural network.
+    Gnn,
+    /// Generative adversarial network.
+    Gan,
+    /// Reinforcement learning.
+    Rl,
+    /// Autoencoder.
+    Autoencoder,
+    /// Matrix factorization.
+    MatrixFactorization,
+}
+
+impl Technique {
+    /// Display label matching the paper's column headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Technique::Cnn => "CNN",
+            Technique::Rnn => "RNN",
+            Technique::Attention => "Att.",
+            Technique::Gnn => "GNN",
+            Technique::Gan => "GAN",
+            Technique::Rl => "RL",
+            Technique::Autoencoder => "AE",
+            Technique::MatrixFactorization => "MF",
+        }
+    }
+
+    /// All columns in the paper's order.
+    pub fn all() -> [Technique; 8] {
+        [
+            Technique::Cnn,
+            Technique::Rnn,
+            Technique::Attention,
+            Technique::Gnn,
+            Technique::Gan,
+            Technique::Rl,
+            Technique::Autoencoder,
+            Technique::MatrixFactorization,
+        ]
+    }
+}
+
+/// One Table 3 row: a method and its classification.
+#[derive(Debug, Clone)]
+pub struct Taxonomy {
+    /// Method name as printed in the survey.
+    pub method: &'static str,
+    /// Publication venue.
+    pub venue: &'static str,
+    /// Publication year.
+    pub year: u16,
+    /// KG usage type.
+    pub usage: UsageType,
+    /// Techniques employed.
+    pub techniques: &'static [Technique],
+    /// Survey bibliography reference number.
+    pub reference: u32,
+}
+
+impl Taxonomy {
+    /// Whether the method uses a given technique.
+    pub fn uses(&self, t: Technique) -> bool {
+        self.techniques.contains(&t)
+    }
+}
+
+/// The full literature table of the survey (39 methods).
+pub fn table3() -> Vec<Taxonomy> {
+    use Technique::*;
+    use UsageType::*;
+    macro_rules! row {
+        ($m:literal, $v:literal, $y:literal, $u:expr, [$($t:expr),*], $r:literal) => {
+            Taxonomy {
+                method: $m,
+                venue: $v,
+                year: $y,
+                usage: $u,
+                techniques: &[$($t),*],
+                reference: $r,
+            }
+        };
+    }
+    vec![
+        row!("CKE", "KDD", 2016, EmbeddingBased, [Autoencoder, MatrixFactorization], 2),
+        row!("entity2rec", "RecSys", 2017, EmbeddingBased, [], 66),
+        row!("ECFKG", "Algorithms", 2018, EmbeddingBased, [], 67),
+        row!("SHINE", "WSDM", 2018, EmbeddingBased, [Autoencoder], 68),
+        row!("DKN", "WWW", 2018, EmbeddingBased, [Cnn, Attention], 48),
+        row!("KSR", "SIGIR", 2018, EmbeddingBased, [Rnn, Attention], 44),
+        row!("CFKG", "SIGIR", 2018, EmbeddingBased, [], 13),
+        row!("KTGAN", "ICDM", 2018, EmbeddingBased, [Gan], 69),
+        row!("KTUP", "WWW", 2019, EmbeddingBased, [], 70),
+        row!("MKR", "WWW", 2019, EmbeddingBased, [Attention], 45),
+        row!("DKFM", "WWW", 2019, EmbeddingBased, [], 71),
+        row!("SED", "WWW", 2019, EmbeddingBased, [], 72),
+        row!("RCF", "SIGIR", 2019, EmbeddingBased, [Attention], 73),
+        row!("BEM", "CIKM", 2019, EmbeddingBased, [], 74),
+        row!("Hete-MF", "IJCAI", 2013, PathBased, [MatrixFactorization], 75),
+        row!("HeteRec", "RecSys", 2013, PathBased, [MatrixFactorization], 76),
+        row!("HeteRec_p", "WSDM", 2014, PathBased, [MatrixFactorization], 77),
+        row!("Hete-CF", "ICDM", 2014, PathBased, [MatrixFactorization], 78),
+        row!("SemRec", "CIKM", 2015, PathBased, [MatrixFactorization], 79),
+        row!("ProPPR", "RecSys", 2016, PathBased, [MatrixFactorization], 80),
+        row!("FMG", "KDD", 2017, PathBased, [MatrixFactorization], 3),
+        row!("MCRec", "KDD", 2018, PathBased, [Cnn, Attention, MatrixFactorization], 1),
+        row!("RKGE", "RecSys", 2018, PathBased, [Rnn, Attention], 81),
+        row!("HERec", "TKDE", 2019, PathBased, [MatrixFactorization], 82),
+        row!("KPRN", "AAAI", 2019, PathBased, [Rnn, Attention], 83),
+        row!("RuleRec", "WWW", 2019, PathBased, [MatrixFactorization], 84),
+        row!("PGPR", "SIGIR", 2019, PathBased, [Rl], 85),
+        row!("EIUM", "MM", 2019, PathBased, [Cnn, Attention], 86),
+        row!("Ekar", "arXiv", 2019, PathBased, [Rl], 87),
+        row!("RippleNet", "CIKM", 2018, Unified, [Attention], 14),
+        row!("RippleNet-agg", "TOIS", 2019, Unified, [Attention, Gnn], 88),
+        row!("KGCN", "WWW", 2019, Unified, [Attention], 89),
+        row!("KGAT", "KDD", 2019, Unified, [Attention, Gnn], 90),
+        row!("KGCN-LS", "KDD", 2019, Unified, [Attention, Gnn], 91),
+        row!("AKUPM", "KDD", 2019, Unified, [Attention], 92),
+        row!("KNI", "KDD", 2019, Unified, [Attention, Gnn], 93),
+        row!("IntentGC", "KDD", 2019, Unified, [Gnn], 94),
+        row!("RCoLM", "IEEE Access", 2019, Unified, [Attention], 95),
+        row!("AKGE", "arXiv", 2019, Unified, [Attention, Gnn], 96),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_has_39_methods() {
+        assert_eq!(table3().len(), 39);
+    }
+
+    #[test]
+    fn usage_type_counts_match_survey() {
+        let t = table3();
+        let emb = t.iter().filter(|x| x.usage == UsageType::EmbeddingBased).count();
+        let path = t.iter().filter(|x| x.usage == UsageType::PathBased).count();
+        let uni = t.iter().filter(|x| x.usage == UsageType::Unified).count();
+        assert_eq!(emb, 14);
+        assert_eq!(path, 15);
+        assert_eq!(uni, 10);
+    }
+
+    #[test]
+    fn method_names_unique() {
+        let t = table3();
+        let mut names: Vec<&str> = t.iter().map(|x| x.method).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 39);
+    }
+
+    #[test]
+    fn years_span_survey_window() {
+        let t = table3();
+        assert!(t.iter().all(|x| (2013..=2019).contains(&x.year)));
+        // Path-based work starts earliest (HIN era, 2013).
+        let earliest = t.iter().min_by_key(|x| x.year).unwrap();
+        assert_eq!(earliest.usage, UsageType::PathBased);
+    }
+
+    #[test]
+    fn uses_checks_membership() {
+        let t = table3();
+        let ripple = t.iter().find(|x| x.method == "RippleNet").unwrap();
+        assert!(ripple.uses(Technique::Attention));
+        assert!(!ripple.uses(Technique::Gan));
+    }
+
+    #[test]
+    fn rl_methods_are_path_based() {
+        // The survey's RL entries (PGPR, Ekar) are both path-based.
+        for x in table3() {
+            if x.uses(Technique::Rl) {
+                assert_eq!(x.usage, UsageType::PathBased, "{}", x.method);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_cover_all_techniques() {
+        for t in Technique::all() {
+            assert!(!t.label().is_empty());
+        }
+        assert_eq!(UsageType::EmbeddingBased.label(), "Emb.");
+    }
+}

@@ -1,0 +1,257 @@
+//! The user feedback matrix `R` (survey Section 3).
+//!
+//! `R_{ij} = 1` when an implicit interaction between user `u_i` and item
+//! `v_j` was observed. [`InteractionMatrix`] stores the observed entries in
+//! compressed sparse row form twice — user-major and item-major — because
+//! the models scan both directions (user histories for preference
+//! propagation, item audiences for ItemKNN and diffusion).
+
+use crate::ids::{ItemId, UserId};
+
+/// One observed user–item interaction, optionally carrying an explicit
+/// rating (e.g. the 1–5 stars of MovieLens) and a timestamp for the
+/// sequential models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interaction {
+    /// The interacting user.
+    pub user: UserId,
+    /// The interacted item.
+    pub item: ItemId,
+    /// Explicit rating when the dataset has one.
+    pub rating: Option<f32>,
+    /// Event time when the dataset has one (arbitrary monotone units).
+    pub timestamp: Option<u64>,
+}
+
+impl Interaction {
+    /// An implicit interaction with no rating or timestamp.
+    pub fn implicit(user: UserId, item: ItemId) -> Self {
+        Self { user, item, rating: None, timestamp: None }
+    }
+
+    /// An explicit interaction with a rating.
+    pub fn rated(user: UserId, item: ItemId, rating: f32) -> Self {
+        Self { user, item, rating: Some(rating), timestamp: None }
+    }
+}
+
+/// The binary feedback matrix `R ∈ {0,1}^{m×n}` with optional ratings.
+#[derive(Debug, Clone)]
+pub struct InteractionMatrix {
+    num_users: usize,
+    num_items: usize,
+    // User-major CSR.
+    u_offsets: Vec<usize>,
+    u_items: Vec<ItemId>,
+    u_ratings: Vec<f32>, // NaN when implicit
+    // Item-major CSR.
+    i_offsets: Vec<usize>,
+    i_users: Vec<UserId>,
+}
+
+impl InteractionMatrix {
+    /// Builds the matrix from interactions. Duplicate `(user, item)` pairs
+    /// are collapsed (last rating wins after sorting, which is
+    /// deterministic for a fixed input order because the sort is stable).
+    ///
+    /// # Panics
+    /// Panics if any interaction references a user or item out of range.
+    pub fn from_interactions(
+        num_users: usize,
+        num_items: usize,
+        interactions: &[Interaction],
+    ) -> Self {
+        for it in interactions {
+            assert!(it.user.index() < num_users, "interaction user out of range");
+            assert!(it.item.index() < num_items, "interaction item out of range");
+        }
+        let mut sorted: Vec<&Interaction> = interactions.iter().collect();
+        sorted.sort_by_key(|it| (it.user.0, it.item.0));
+        sorted.dedup_by_key(|it| (it.user.0, it.item.0));
+
+        let mut u_offsets = vec![0usize; num_users + 1];
+        for it in &sorted {
+            u_offsets[it.user.index() + 1] += 1;
+        }
+        for i in 0..num_users {
+            u_offsets[i + 1] += u_offsets[i];
+        }
+        let u_items: Vec<ItemId> = sorted.iter().map(|it| it.item).collect();
+        let u_ratings: Vec<f32> = sorted.iter().map(|it| it.rating.unwrap_or(f32::NAN)).collect();
+
+        let mut by_item: Vec<(ItemId, UserId)> =
+            sorted.iter().map(|it| (it.item, it.user)).collect();
+        by_item.sort_by_key(|&(i, u)| (i.0, u.0));
+        let mut i_offsets = vec![0usize; num_items + 1];
+        for &(i, _) in &by_item {
+            i_offsets[i.index() + 1] += 1;
+        }
+        for i in 0..num_items {
+            i_offsets[i + 1] += i_offsets[i];
+        }
+        let i_users: Vec<UserId> = by_item.iter().map(|&(_, u)| u).collect();
+
+        Self { num_users, num_items, u_offsets, u_items, u_ratings, i_offsets, i_users }
+    }
+
+    /// Number of users `m`.
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Number of items `n`.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Number of observed interactions `|R|`.
+    pub fn num_interactions(&self) -> usize {
+        self.u_items.len()
+    }
+
+    /// Density `|R| / (m·n)`.
+    pub fn density(&self) -> f64 {
+        if self.num_users == 0 || self.num_items == 0 {
+            0.0
+        } else {
+            self.num_interactions() as f64 / (self.num_users * self.num_items) as f64
+        }
+    }
+
+    /// Items interacted by `user`, sorted by item id.
+    pub fn items_of(&self, user: UserId) -> &[ItemId] {
+        &self.u_items[self.u_offsets[user.index()]..self.u_offsets[user.index() + 1]]
+    }
+
+    /// Ratings aligned with [`Self::items_of`] (`NaN` for implicit entries).
+    pub fn ratings_of(&self, user: UserId) -> &[f32] {
+        &self.u_ratings[self.u_offsets[user.index()]..self.u_offsets[user.index() + 1]]
+    }
+
+    /// Users who interacted with `item`, sorted by user id.
+    pub fn users_of(&self, item: ItemId) -> &[UserId] {
+        &self.i_users[self.i_offsets[item.index()]..self.i_offsets[item.index() + 1]]
+    }
+
+    /// Whether `R_{user,item} = 1`.
+    pub fn contains(&self, user: UserId, item: ItemId) -> bool {
+        self.items_of(user).binary_search(&item).is_ok()
+    }
+
+    /// Out-degree of a user (history length).
+    pub fn user_degree(&self, user: UserId) -> usize {
+        self.u_offsets[user.index() + 1] - self.u_offsets[user.index()]
+    }
+
+    /// Popularity of an item (audience size).
+    pub fn item_degree(&self, item: ItemId) -> usize {
+        self.i_offsets[item.index() + 1] - self.i_offsets[item.index()]
+    }
+
+    /// Iterates over all `(user, item, rating)` triples, user-major.
+    pub fn iter(&self) -> impl Iterator<Item = (UserId, ItemId, f32)> + '_ {
+        (0..self.num_users).flat_map(move |u| {
+            let user = UserId(u as u32);
+            self.items_of(user)
+                .iter()
+                .zip(self.ratings_of(user).iter())
+                .map(move |(&i, &r)| (user, i, r))
+        })
+    }
+
+    /// Item popularity vector, length `n`.
+    pub fn item_popularity(&self) -> Vec<usize> {
+        (0..self.num_items).map(|i| self.item_degree(ItemId(i as u32))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> InteractionMatrix {
+        InteractionMatrix::from_interactions(
+            3,
+            4,
+            &[
+                Interaction::implicit(UserId(0), ItemId(1)),
+                Interaction::rated(UserId(0), ItemId(3), 5.0),
+                Interaction::implicit(UserId(2), ItemId(1)),
+                Interaction::implicit(UserId(2), ItemId(0)),
+            ],
+        )
+    }
+
+    #[test]
+    fn shapes_and_counts() {
+        let m = toy();
+        assert_eq!(m.num_users(), 3);
+        assert_eq!(m.num_items(), 4);
+        assert_eq!(m.num_interactions(), 4);
+        assert!((m.density() - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn user_major_access() {
+        let m = toy();
+        assert_eq!(m.items_of(UserId(0)), &[ItemId(1), ItemId(3)]);
+        assert_eq!(m.items_of(UserId(1)), &[] as &[ItemId]);
+        assert_eq!(m.items_of(UserId(2)), &[ItemId(0), ItemId(1)]);
+        assert_eq!(m.user_degree(UserId(2)), 2);
+    }
+
+    #[test]
+    fn item_major_access() {
+        let m = toy();
+        assert_eq!(m.users_of(ItemId(1)), &[UserId(0), UserId(2)]);
+        assert_eq!(m.users_of(ItemId(2)), &[] as &[UserId]);
+        assert_eq!(m.item_degree(ItemId(1)), 2);
+    }
+
+    #[test]
+    fn ratings_aligned_with_items() {
+        let m = toy();
+        let r = m.ratings_of(UserId(0));
+        assert!(r[0].is_nan());
+        assert_eq!(r[1], 5.0);
+    }
+
+    #[test]
+    fn contains_binary_search() {
+        let m = toy();
+        assert!(m.contains(UserId(0), ItemId(3)));
+        assert!(!m.contains(UserId(1), ItemId(0)));
+    }
+
+    #[test]
+    fn duplicates_collapsed() {
+        let m = InteractionMatrix::from_interactions(
+            1,
+            2,
+            &[
+                Interaction::implicit(UserId(0), ItemId(1)),
+                Interaction::implicit(UserId(0), ItemId(1)),
+            ],
+        );
+        assert_eq!(m.num_interactions(), 1);
+    }
+
+    #[test]
+    fn iter_covers_everything() {
+        let m = toy();
+        assert_eq!(m.iter().count(), 4);
+        assert!(m.iter().any(|(u, i, r)| u == UserId(0) && i == ItemId(3) && r == 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        InteractionMatrix::from_interactions(1, 1, &[Interaction::implicit(UserId(1), ItemId(0))]);
+    }
+
+    #[test]
+    fn popularity_vector() {
+        let m = toy();
+        assert_eq!(m.item_popularity(), vec![1, 2, 0, 1]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Machine-readable contents of Table 4 of the survey: datasets per
+//! application scenario, with the papers that evaluate on each.
+//!
+//! The `table4` harness binary in `kgrec-bench` renders this registry in
+//! the paper's layout; the `generator` field links each dataset to the
+//! synthetic scenario that stands in for it offline (see
+//! [`crate::synth`]).
+
+/// Application scenario (the left column of Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Movie recommendation.
+    Movie,
+    /// Book recommendation.
+    Book,
+    /// News recommendation.
+    News,
+    /// Product (e-commerce) recommendation.
+    Product,
+    /// Point-of-interest recommendation.
+    Poi,
+    /// Music recommendation.
+    Music,
+    /// Social platform recommendation.
+    SocialPlatform,
+}
+
+impl Scenario {
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Movie => "Movie",
+            Scenario::Book => "Book",
+            Scenario::News => "News",
+            Scenario::Product => "Product",
+            Scenario::Poi => "POI",
+            Scenario::Music => "Music",
+            Scenario::SocialPlatform => "Social Platform",
+        }
+    }
+}
+
+/// One row of Table 4.
+#[derive(Debug, Clone)]
+pub struct DatasetEntry {
+    /// Scenario the dataset belongs to.
+    pub scenario: Scenario,
+    /// Dataset name as printed in the paper.
+    pub name: &'static str,
+    /// Citation keys of the surveyed papers evaluating on it (reference
+    /// numbers of the survey bibliography).
+    pub papers: &'static [u32],
+    /// The synthetic scenario preset simulating this dataset offline, if
+    /// one exists (name of a `ScenarioConfig` constructor).
+    pub generator: Option<&'static str>,
+}
+
+/// The full Table 4 registry, in the paper's row order.
+pub fn table4() -> Vec<DatasetEntry> {
+    use Scenario::*;
+    vec![
+        DatasetEntry {
+            scenario: Movie,
+            name: "MovieLens-100K",
+            papers: &[1, 73, 75, 76, 77, 80],
+            generator: Some("movielens_100k_like"),
+        },
+        DatasetEntry {
+            scenario: Movie,
+            name: "MovieLens-1M",
+            papers: &[2, 14, 44, 45, 66, 70, 81, 83, 87, 92, 93, 95, 96],
+            generator: Some("movielens_1m_like"),
+        },
+        DatasetEntry {
+            scenario: Movie,
+            name: "MovieLens-20M",
+            papers: &[44, 86, 88, 89, 91, 93],
+            generator: Some("movielens_1m_like"),
+        },
+        DatasetEntry { scenario: Movie, name: "DoubanMovie", papers: &[69, 79, 82], generator: None },
+        DatasetEntry { scenario: Book, name: "DBbook2014", papers: &[70, 87], generator: None },
+        DatasetEntry {
+            scenario: Book,
+            name: "Book-Crossing",
+            papers: &[14, 45, 88, 89, 91, 92, 93, 95],
+            generator: Some("book_crossing_like"),
+        },
+        DatasetEntry {
+            scenario: Book,
+            name: "Amazon-Book",
+            papers: &[44, 90, 93],
+            generator: Some("amazon_product_like"),
+        },
+        DatasetEntry { scenario: Book, name: "IntentBooks", papers: &[2], generator: None },
+        DatasetEntry { scenario: Book, name: "DoubanBook", papers: &[82], generator: None },
+        DatasetEntry {
+            scenario: News,
+            name: "Bing-News",
+            papers: &[14, 45, 48, 88],
+            generator: Some("bing_news_like"),
+        },
+        DatasetEntry {
+            scenario: Product,
+            name: "Amazon Product data",
+            papers: &[3, 13, 67, 84, 85, 94],
+            generator: Some("amazon_product_like"),
+        },
+        DatasetEntry {
+            scenario: Product,
+            name: "Alibaba Taobao",
+            papers: &[74, 94],
+            generator: None,
+        },
+        DatasetEntry {
+            scenario: Poi,
+            name: "Yelp challenge",
+            papers: &[1, 3, 76, 77, 79, 80, 81, 82, 90, 96],
+            generator: Some("yelp_like"),
+        },
+        DatasetEntry { scenario: Poi, name: "Dianping-Food", papers: &[91], generator: None },
+        DatasetEntry { scenario: Poi, name: "CEM", papers: &[71], generator: None },
+        DatasetEntry {
+            scenario: Music,
+            name: "Last.FM",
+            papers: &[1, 44, 45, 87, 89, 90, 91, 96],
+            generator: Some("lastfm_like"),
+        },
+        DatasetEntry { scenario: Music, name: "KKBox", papers: &[73, 83], generator: None },
+        DatasetEntry {
+            scenario: SocialPlatform,
+            name: "Weibo",
+            papers: &[68],
+            generator: Some("weibo_like"),
+        },
+        DatasetEntry { scenario: SocialPlatform, name: "DBLP", papers: &[78], generator: None },
+        DatasetEntry { scenario: SocialPlatform, name: "MeetUp", papers: &[78], generator: None },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_paper_shape() {
+        let t = table4();
+        assert_eq!(t.len(), 20, "Table 4 has 20 dataset rows");
+        // Seven scenarios, as in the paper.
+        let mut scenarios: Vec<&str> = t.iter().map(|e| e.scenario.name()).collect();
+        scenarios.dedup();
+        let unique: std::collections::HashSet<_> = scenarios.iter().collect();
+        assert_eq!(unique.len(), 7);
+    }
+
+    #[test]
+    fn every_entry_has_papers() {
+        for e in table4() {
+            assert!(!e.papers.is_empty(), "{} has no papers", e.name);
+        }
+    }
+
+    #[test]
+    fn generators_reference_real_presets() {
+        use crate::synth::ScenarioConfig;
+        for e in table4() {
+            if let Some(g) = e.generator {
+                // Resolve by name; unknown names are a bug in the registry.
+                let cfg = match g {
+                    "movielens_100k_like" => ScenarioConfig::movielens_100k_like(),
+                    "movielens_1m_like" => ScenarioConfig::movielens_1m_like(),
+                    "book_crossing_like" => ScenarioConfig::book_crossing_like(),
+                    "lastfm_like" => ScenarioConfig::lastfm_like(),
+                    "amazon_product_like" => ScenarioConfig::amazon_product_like(),
+                    "yelp_like" => ScenarioConfig::yelp_like(),
+                    "bing_news_like" => ScenarioConfig::bing_news_like(),
+                    "weibo_like" => ScenarioConfig::weibo_like(),
+                    other => panic!("unknown generator {other}"),
+                };
+                assert!(cfg.num_users > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn movielens_1m_paper_list_matches_survey() {
+        let t = table4();
+        let ml1m = t.iter().find(|e| e.name == "MovieLens-1M").unwrap();
+        assert!(ml1m.papers.contains(&14)); // RippleNet
+        assert!(ml1m.papers.contains(&2)); // CKE
+        assert_eq!(ml1m.papers.len(), 13);
+    }
+}

@@ -1,0 +1,205 @@
+//! Train/test splitting protocols.
+//!
+//! Two protocols cover what the surveyed papers use:
+//!
+//! * **ratio split** — each user's interactions are split so that roughly
+//!   `test_fraction` of them land in the test set, always keeping at least
+//!   one interaction in train (users with a single interaction contribute
+//!   nothing to test);
+//! * **leave-one-out** — one interaction per user (the last by timestamp
+//!   when timestamps exist, otherwise a seeded random pick) goes to test.
+
+use crate::ids::UserId;
+use crate::interactions::{Interaction, InteractionMatrix};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A train/test pair over the same user/item universe.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training interactions.
+    pub train: InteractionMatrix,
+    /// Held-out test interactions.
+    pub test: InteractionMatrix,
+}
+
+/// Per-user ratio split; see module docs.
+///
+/// # Panics
+/// Panics unless `0.0 < test_fraction < 1.0`.
+pub fn ratio_split(matrix: &InteractionMatrix, test_fraction: f64, seed: u64) -> Split {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "ratio_split: test_fraction must be in (0, 1)"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for u in 0..matrix.num_users() {
+        let user = UserId(u as u32);
+        let items = matrix.items_of(user);
+        let ratings = matrix.ratings_of(user);
+        if items.is_empty() {
+            continue;
+        }
+        // Shuffle positions, take the head as test, bounded so at least
+        // one interaction always stays in train.
+        let mut pos: Vec<usize> = (0..items.len()).collect();
+        for i in (1..pos.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            pos.swap(i, j);
+        }
+        let want_test = ((items.len() as f64) * test_fraction).round() as usize;
+        let n_test = want_test.min(items.len() - 1);
+        for (k, &p) in pos.iter().enumerate() {
+            let it = Interaction {
+                user,
+                item: items[p],
+                rating: if ratings[p].is_nan() { None } else { Some(ratings[p]) },
+                timestamp: None,
+            };
+            if k < n_test {
+                test.push(it);
+            } else {
+                train.push(it);
+            }
+        }
+    }
+    Split {
+        train: InteractionMatrix::from_interactions(matrix.num_users(), matrix.num_items(), &train),
+        test: InteractionMatrix::from_interactions(matrix.num_users(), matrix.num_items(), &test),
+    }
+}
+
+/// Leave-one-out split; see module docs. Users with fewer than two
+/// interactions stay entirely in train.
+pub fn leave_one_out(matrix: &InteractionMatrix, seed: u64) -> Split {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for u in 0..matrix.num_users() {
+        let user = UserId(u as u32);
+        let items = matrix.items_of(user);
+        let ratings = matrix.ratings_of(user);
+        if items.len() < 2 {
+            for (p, &item) in items.iter().enumerate() {
+                train.push(Interaction {
+                    user,
+                    item,
+                    rating: if ratings[p].is_nan() { None } else { Some(ratings[p]) },
+                    timestamp: None,
+                });
+            }
+            continue;
+        }
+        let held = rng.gen_range(0..items.len());
+        for (p, &item) in items.iter().enumerate() {
+            let it = Interaction {
+                user,
+                item,
+                rating: if ratings[p].is_nan() { None } else { Some(ratings[p]) },
+                timestamp: None,
+            };
+            if p == held {
+                test.push(it);
+            } else {
+                train.push(it);
+            }
+        }
+    }
+    Split {
+        train: InteractionMatrix::from_interactions(matrix.num_users(), matrix.num_items(), &train),
+        test: InteractionMatrix::from_interactions(matrix.num_users(), matrix.num_items(), &test),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ItemId;
+
+    fn dense_matrix(users: usize, items_per_user: usize) -> InteractionMatrix {
+        let mut v = Vec::new();
+        for u in 0..users {
+            for i in 0..items_per_user {
+                v.push(Interaction::implicit(UserId(u as u32), ItemId(i as u32)));
+            }
+        }
+        InteractionMatrix::from_interactions(users, items_per_user, &v)
+    }
+
+    #[test]
+    fn ratio_split_partitions_interactions() {
+        let m = dense_matrix(10, 10);
+        let s = ratio_split(&m, 0.2, 1);
+        assert_eq!(s.train.num_interactions() + s.test.num_interactions(), 100);
+        // No overlap.
+        for (u, i, _) in s.test.iter() {
+            assert!(!s.train.contains(u, i), "overlap at ({u}, {i})");
+        }
+    }
+
+    #[test]
+    fn ratio_split_keeps_one_in_train() {
+        let m = dense_matrix(5, 1);
+        let s = ratio_split(&m, 0.5, 2);
+        assert_eq!(s.test.num_interactions(), 0);
+        assert_eq!(s.train.num_interactions(), 5);
+    }
+
+    #[test]
+    fn ratio_split_deterministic_per_seed() {
+        let m = dense_matrix(8, 6);
+        let a = ratio_split(&m, 0.3, 7);
+        let b = ratio_split(&m, 0.3, 7);
+        let ta: Vec<_> = a.test.iter().map(|(u, i, _)| (u, i)).collect();
+        let tb: Vec<_> = b.test.iter().map(|(u, i, _)| (u, i)).collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn ratio_split_varies_with_seed() {
+        let m = dense_matrix(20, 10);
+        let a = ratio_split(&m, 0.3, 1);
+        let b = ratio_split(&m, 0.3, 2);
+        let ta: Vec<_> = a.test.iter().map(|(u, i, _)| (u, i)).collect();
+        let tb: Vec<_> = b.test.iter().map(|(u, i, _)| (u, i)).collect();
+        assert_ne!(ta, tb);
+    }
+
+    #[test]
+    fn leave_one_out_one_test_per_eligible_user() {
+        let m = dense_matrix(6, 4);
+        let s = leave_one_out(&m, 3);
+        assert_eq!(s.test.num_interactions(), 6);
+        for u in 0..6 {
+            assert_eq!(s.test.user_degree(UserId(u)), 1);
+            assert_eq!(s.train.user_degree(UserId(u)), 3);
+        }
+    }
+
+    #[test]
+    fn leave_one_out_skips_singletons() {
+        let m = dense_matrix(4, 1);
+        let s = leave_one_out(&m, 3);
+        assert_eq!(s.test.num_interactions(), 0);
+        assert_eq!(s.train.num_interactions(), 4);
+    }
+
+    #[test]
+    fn ratings_survive_split() {
+        let m = InteractionMatrix::from_interactions(
+            1,
+            3,
+            &[
+                Interaction::rated(UserId(0), ItemId(0), 4.0),
+                Interaction::rated(UserId(0), ItemId(1), 2.0),
+                Interaction::rated(UserId(0), ItemId(2), 5.0),
+            ],
+        );
+        let s = ratio_split(&m, 0.34, 9);
+        let all: Vec<f32> = s.train.iter().chain(s.test.iter()).map(|(_, _, r)| r).collect();
+        assert!(all.iter().all(|r| !r.is_nan()));
+    }
+}

@@ -1,0 +1,254 @@
+//! CSR-backed knowledge graph storage.
+//!
+//! The graph is immutable once built (see [`crate::KgBuilder`]); all
+//! surveyed algorithms treat the KG as a fixed input. Out-edges are stored
+//! in compressed sparse row form sorted by `(relation, tail)`, which makes
+//! per-entity neighbor scans contiguous and relation-restricted scans a
+//! binary-search-plus-slice.
+
+use crate::ids::{EntityId, EntityTypeId, RelationId, Triple};
+
+/// An immutable heterogeneous knowledge graph.
+///
+/// In the survey's terms this is a HIN `G = (V, E)` with entity-type map
+/// `φ` and relation-type map `ψ` (Section 3); a KG is an instance of it.
+#[derive(Debug, Clone)]
+pub struct KnowledgeGraph {
+    entity_names: Vec<String>,
+    entity_types: Vec<EntityTypeId>,
+    type_names: Vec<String>,
+    relation_names: Vec<String>,
+    /// Number of relations that are not auto-generated inverses.
+    base_relations: usize,
+    /// CSR offsets into `edges`, length `num_entities + 1`.
+    offsets: Vec<usize>,
+    /// Out-edges `(relation, tail)` sorted per head by `(relation, tail)`.
+    edges: Vec<(RelationId, EntityId)>,
+    /// All triples in sorted order (head-major) for iteration / KGE training.
+    triples: Vec<Triple>,
+}
+
+impl KnowledgeGraph {
+    /// Assembles a graph from finalized parts. Used by [`crate::KgBuilder`];
+    /// library users should go through the builder.
+    pub fn from_parts(
+        entity_names: Vec<String>,
+        entity_types: Vec<EntityTypeId>,
+        type_names: Vec<String>,
+        relation_names: Vec<String>,
+        base_relations: usize,
+        mut triples: Vec<Triple>,
+    ) -> Self {
+        assert_eq!(entity_names.len(), entity_types.len(), "entity name/type length mismatch");
+        let n = entity_names.len();
+        triples.sort_by_key(|t| (t.head.0, t.rel.0, t.tail.0));
+        let mut offsets = vec![0usize; n + 1];
+        for t in &triples {
+            offsets[t.head.index() + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let edges = triples.iter().map(|t| (t.rel, t.tail)).collect();
+        Self {
+            entity_names,
+            entity_types,
+            type_names,
+            relation_names,
+            base_relations,
+            offsets,
+            edges,
+            triples,
+        }
+    }
+
+    /// Number of entities `|V|`.
+    pub fn num_entities(&self) -> usize {
+        self.entity_names.len()
+    }
+
+    /// Number of relation types `|R|` (including materialized inverses).
+    pub fn num_relations(&self) -> usize {
+        self.relation_names.len()
+    }
+
+    /// Number of relation types excluding auto-generated inverses.
+    pub fn num_base_relations(&self) -> usize {
+        self.base_relations
+    }
+
+    /// Number of entity types `|A|`.
+    pub fn num_entity_types(&self) -> usize {
+        self.type_names.len()
+    }
+
+    /// Number of stored triples (facts).
+    pub fn num_triples(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Name of entity `e`.
+    pub fn entity_name(&self, e: EntityId) -> &str {
+        &self.entity_names[e.index()]
+    }
+
+    /// Type of entity `e` (the map `φ`).
+    pub fn entity_type(&self, e: EntityId) -> EntityTypeId {
+        self.entity_types[e.index()]
+    }
+
+    /// Name of entity type `t`.
+    pub fn type_name(&self, t: EntityTypeId) -> &str {
+        &self.type_names[t.index()]
+    }
+
+    /// Name of relation `r`.
+    pub fn relation_name(&self, r: RelationId) -> &str {
+        &self.relation_names[r.index()]
+    }
+
+    /// Looks up a relation id by name (linear scan; graphs have few types).
+    pub fn relation_by_name(&self, name: &str) -> Option<RelationId> {
+        self.relation_names.iter().position(|n| n == name).map(|i| RelationId(i as u32))
+    }
+
+    /// Looks up an entity type id by name.
+    pub fn entity_type_by_name(&self, name: &str) -> Option<EntityTypeId> {
+        self.type_names.iter().position(|n| n == name).map(|i| EntityTypeId(i as u32))
+    }
+
+    /// Looks up an entity id by name (linear scan; intended for examples
+    /// and tests, not hot paths).
+    pub fn entity_by_name(&self, name: &str) -> Option<EntityId> {
+        self.entity_names.iter().position(|n| n == name).map(|i| EntityId(i as u32))
+    }
+
+    /// All entities of a given type, in id order.
+    pub fn entities_of_type(&self, ty: EntityTypeId) -> Vec<EntityId> {
+        (0..self.num_entities() as u32)
+            .map(EntityId)
+            .filter(|&e| self.entity_type(e) == ty)
+            .collect()
+    }
+
+    /// Out-degree of entity `e`.
+    pub fn degree(&self, e: EntityId) -> usize {
+        self.offsets[e.index() + 1] - self.offsets[e.index()]
+    }
+
+    /// Iterator over the out-edges `(relation, tail)` of `e`, sorted by
+    /// `(relation, tail)`.
+    pub fn neighbors(&self, e: EntityId) -> impl Iterator<Item = (RelationId, EntityId)> + '_ {
+        self.edge_slice(e).iter().copied()
+    }
+
+    /// The out-edge slice of `e` (sorted by `(relation, tail)`).
+    #[inline]
+    pub fn edge_slice(&self, e: EntityId) -> &[(RelationId, EntityId)] {
+        &self.edges[self.offsets[e.index()]..self.offsets[e.index() + 1]]
+    }
+
+    /// Out-neighbors of `e` via a specific relation, as a contiguous slice.
+    pub fn neighbors_by_relation(&self, e: EntityId, r: RelationId) -> &[(RelationId, EntityId)] {
+        let edges = self.edge_slice(e);
+        let lo = edges.partition_point(|&(er, _)| er < r);
+        let hi = edges.partition_point(|&(er, _)| er <= r);
+        &edges[lo..hi]
+    }
+
+    /// Whether the fact `⟨h, r, t⟩` is in the graph.
+    pub fn contains(&self, head: EntityId, rel: RelationId, tail: EntityId) -> bool {
+        self.edge_slice(head).binary_search(&(rel, tail)).is_ok()
+    }
+
+    /// All triples, head-major sorted.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// Mean out-degree (a sanity statistic used by the generators).
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_entities() == 0 {
+            0.0
+        } else {
+            self.num_triples() as f64 / self.num_entities() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KgBuilder;
+
+    fn toy() -> KnowledgeGraph {
+        let mut b = KgBuilder::new();
+        let tm = b.entity_type("movie");
+        let tg = b.entity_type("genre");
+        let m1 = b.entity("m1", tm);
+        let m2 = b.entity("m2", tm);
+        let g1 = b.entity("g1", tg);
+        let r_genre = b.relation("has_genre");
+        let r_seq = b.relation("sequel_of");
+        b.triple(m1, r_genre, g1);
+        b.triple(m2, r_genre, g1);
+        b.triple(m2, r_seq, m1);
+        b.build(false)
+    }
+
+    #[test]
+    fn counts() {
+        let g = toy();
+        assert_eq!(g.num_entities(), 3);
+        assert_eq!(g.num_relations(), 2);
+        assert_eq!(g.num_entity_types(), 2);
+        assert_eq!(g.num_triples(), 3);
+        assert!((g.mean_degree() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_complete() {
+        let g = toy();
+        let m2 = g.entity_by_name("m2").unwrap();
+        let nbrs: Vec<_> = g.neighbors(m2).collect();
+        assert_eq!(nbrs.len(), 2);
+        assert!(nbrs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn neighbors_by_relation_slices() {
+        let g = toy();
+        let m2 = g.entity_by_name("m2").unwrap();
+        let r_genre = g.relation_by_name("has_genre").unwrap();
+        let r_seq = g.relation_by_name("sequel_of").unwrap();
+        assert_eq!(g.neighbors_by_relation(m2, r_genre).len(), 1);
+        assert_eq!(g.neighbors_by_relation(m2, r_seq).len(), 1);
+        let m1 = g.entity_by_name("m1").unwrap();
+        assert_eq!(g.neighbors_by_relation(m1, r_seq).len(), 0);
+    }
+
+    #[test]
+    fn contains_checks_facts() {
+        let g = toy();
+        let m1 = g.entity_by_name("m1").unwrap();
+        let g1 = g.entity_by_name("g1").unwrap();
+        let r = g.relation_by_name("has_genre").unwrap();
+        assert!(g.contains(m1, r, g1));
+        assert!(!g.contains(g1, r, m1));
+    }
+
+    #[test]
+    fn entities_of_type_filters() {
+        let g = toy();
+        let tm = g.entity_type_by_name("movie").unwrap();
+        assert_eq!(g.entities_of_type(tm).len(), 2);
+    }
+
+    #[test]
+    fn empty_graph_ok() {
+        let g = KgBuilder::new().build(false);
+        assert_eq!(g.num_entities(), 0);
+        assert_eq!(g.num_triples(), 0);
+        assert_eq!(g.mean_degree(), 0.0);
+    }
+}

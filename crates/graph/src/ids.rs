@@ -1,0 +1,95 @@
+//! Dense identifier newtypes and the triple type.
+//!
+//! Following the notation of Table 2 of the survey: entities `e_k`,
+//! relations `r_k`, and facts `⟨e_h, r, e_t⟩`. Ids are dense `u32`s so the
+//! rest of the workspace can index `Vec`s and embedding tables directly.
+
+/// Identifier of an entity (node) in a [`crate::KnowledgeGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntityId(pub u32);
+
+/// Identifier of a relation type (edge label).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelationId(pub u32);
+
+/// Identifier of an entity *type* (the `A` of the HIN schema `(A, R)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntityTypeId(pub u32);
+
+impl EntityId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RelationId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EntityTypeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for EntityId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl std::fmt::Display for RelationId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One fact `⟨head, relation, tail⟩` of the knowledge graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Triple {
+    /// Head entity `e_h`.
+    pub head: EntityId,
+    /// Relation `r`.
+    pub rel: RelationId,
+    /// Tail entity `e_t`.
+    pub tail: EntityId,
+}
+
+impl Triple {
+    /// Convenience constructor.
+    pub fn new(head: EntityId, rel: RelationId, tail: EntityId) -> Self {
+        Self { head, rel, tail }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_index_roundtrip() {
+        assert_eq!(EntityId(7).index(), 7);
+        assert_eq!(RelationId(3).index(), 3);
+        assert_eq!(EntityTypeId(2).index(), 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(EntityId(1).to_string(), "e1");
+        assert_eq!(RelationId(4).to_string(), "r4");
+    }
+
+    #[test]
+    fn triple_equality() {
+        let t = Triple::new(EntityId(1), RelationId(2), EntityId(3));
+        assert_eq!(t, Triple { head: EntityId(1), rel: RelationId(2), tail: EntityId(3) });
+    }
+}

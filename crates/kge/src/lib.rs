@@ -1,0 +1,35 @@
+//! Knowledge graph embedding (KGE) algorithms.
+//!
+//! Section 4.1 of the survey divides KGE into **translation distance
+//! models** — TransE, TransH, TransR, TransD — and **semantic matching
+//! models** — DistMult. All five are implemented here with hand-derived
+//! gradients (validated by finite differences in each module's tests),
+//! plus the random-walk entity embedding (metapath2vec skip-gram) used by
+//! entity2rec/KTGAN-style pipelines.
+//!
+//! The shared [`KgeModel`] trait exposes plausibility scoring and the
+//! learned embeddings; [`trainer`] provides the negative-sampling margin /
+//! logistic training loop; [`eval`] implements filtered link-prediction
+//! metrics (MR, MRR, Hits@K).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)] // gradient kernels index slices in lockstep
+
+pub mod distmult;
+pub mod eval;
+pub mod metapath2vec;
+pub mod model;
+pub mod trainer;
+pub mod transd;
+pub mod transe;
+pub mod transh;
+pub mod transr;
+
+pub use distmult::DistMult;
+pub use model::KgeModel;
+pub use trainer::{train, TrainConfig};
+pub use transd::TransD;
+pub use transe::TransE;
+pub use transh::TransH;
+pub use transr::TransR;

@@ -1,0 +1,38 @@
+//! The shared KGE model interface.
+
+use kgrec_graph::{EntityId, RelationId, Triple};
+
+/// A trainable knowledge-graph embedding model.
+///
+/// Scores are oriented so that **higher means more plausible** — the
+/// translation-distance models return the negated distance. This keeps
+/// ranking code uniform across model families.
+pub trait KgeModel {
+    /// Embedding dimension `d`.
+    fn dim(&self) -> usize;
+
+    /// Number of entities the model was sized for.
+    fn num_entities(&self) -> usize;
+
+    /// Number of relations the model was sized for.
+    fn num_relations(&self) -> usize;
+
+    /// Plausibility score of the triple (higher = more plausible).
+    fn score(&self, h: EntityId, r: RelationId, t: EntityId) -> f32;
+
+    /// The entity latent vector `e_k`.
+    fn entity_embedding(&self, e: EntityId) -> &[f32];
+
+    /// The relation latent vector `r_k`.
+    fn relation_embedding(&self, r: RelationId) -> &[f32];
+
+    /// One SGD step on a (positive, negative) triple pair; returns the
+    /// pair's loss *before* the update.
+    fn train_pair(&mut self, pos: Triple, neg: Triple, lr: f32) -> f32;
+
+    /// Applies per-epoch constraints (norm projections). Default: nothing.
+    fn post_epoch(&mut self) {}
+
+    /// Short algorithm name for reports.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,244 @@
+//! TransD (Ji et al. 2015): dynamic mapping matrices.
+//!
+//! Every entity and relation carries a second *projection* vector
+//! (`h_p`, `r_p`, …). The mapping matrix is never materialized — the
+//! efficient identity `M_rh·h = h + (h_pᵀh)·r_p` is used directly (the
+//! equal-dimension case of the paper):
+//! `d(h,r,t) = ‖h + (h_pᵀh)r_p + r − t − (t_pᵀt)r_p‖²`.
+//! DKN encodes its news entities with this model.
+
+use crate::model::KgeModel;
+use kgrec_graph::{EntityId, RelationId, Triple};
+use kgrec_linalg::{vector, EmbeddingTable};
+use rand::Rng;
+
+/// The TransD model (entity dim == relation dim).
+#[derive(Debug, Clone)]
+pub struct TransD {
+    entities: EmbeddingTable,
+    entity_proj: EmbeddingTable,
+    relations: EmbeddingTable,
+    relation_proj: EmbeddingTable,
+    /// Ranking margin `γ`.
+    pub margin: f32,
+}
+
+impl TransD {
+    /// Creates a TransD model.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        num_entities: usize,
+        num_relations: usize,
+        dim: usize,
+        margin: f32,
+    ) -> Self {
+        Self {
+            entities: EmbeddingTable::transe_init(rng, num_entities, dim),
+            entity_proj: EmbeddingTable::uniform(rng, num_entities, dim, 0.1),
+            relations: EmbeddingTable::transe_init(rng, num_relations, dim),
+            relation_proj: EmbeddingTable::uniform(rng, num_relations, dim, 0.1),
+            margin,
+        }
+    }
+
+    /// Residual `v = h + a·r_p + r − t − b·r_p` with `a = h_pᵀh`,
+    /// `b = t_pᵀt`.
+    fn residual(&self, h: EntityId, r: RelationId, t: EntityId) -> Vec<f32> {
+        let hv = self.entities.row(h.index());
+        let tv = self.entities.row(t.index());
+        let rv = self.relations.row(r.index());
+        let rp = self.relation_proj.row(r.index());
+        let a = vector::dot(self.entity_proj.row(h.index()), hv);
+        let b = vector::dot(self.entity_proj.row(t.index()), tv);
+        (0..hv.len()).map(|i| hv[i] + a * rp[i] + rv[i] - tv[i] - b * rp[i]).collect()
+    }
+
+    /// Dynamic-mapping distance; see module docs.
+    pub fn distance(&self, h: EntityId, r: RelationId, t: EntityId) -> f32 {
+        vector::norm_sq(&self.residual(h, r, t))
+    }
+
+    /// Gradients (with `v` the residual, `c = r_pᵀv`):
+    /// `∂d/∂h  = 2(v + c·h_p)`,   `∂d/∂h_p = 2c·h`,
+    /// `∂d/∂t  = −2(v + c·t_p)`,  `∂d/∂t_p = −2c·t`,
+    /// `∂d/∂r  = 2v`,             `∂d/∂r_p = 2(a−b)·v`.
+    fn apply(&mut self, triple: Triple, scale: f32, lr: f32) {
+        let (h, r, t) = (triple.head, triple.rel, triple.tail);
+        let v = self.residual(h, r, t);
+        let hv = self.entities.row(h.index()).to_vec();
+        let tv = self.entities.row(t.index()).to_vec();
+        let hp = self.entity_proj.row(h.index()).to_vec();
+        let tp = self.entity_proj.row(t.index()).to_vec();
+        let rp = self.relation_proj.row(r.index()).to_vec();
+        let a = vector::dot(&hp, &hv);
+        let b = vector::dot(&tp, &tv);
+        let c = vector::dot(&rp, &v);
+
+        let grad_h: Vec<f32> = (0..v.len()).map(|i| 2.0 * (v[i] + c * hp[i])).collect();
+        let grad_hp: Vec<f32> = hv.iter().map(|x| 2.0 * c * x).collect();
+        let grad_t: Vec<f32> = (0..v.len()).map(|i| -2.0 * (v[i] + c * tp[i])).collect();
+        let grad_tp: Vec<f32> = tv.iter().map(|x| -2.0 * c * x).collect();
+        let grad_r: Vec<f32> = v.iter().map(|x| 2.0 * x).collect();
+        let grad_rp: Vec<f32> = v.iter().map(|x| 2.0 * (a - b) * x).collect();
+
+        self.entities.add_to_row(h.index(), -lr * scale, &grad_h);
+        self.entity_proj.add_to_row(h.index(), -lr * scale, &grad_hp);
+        self.entities.add_to_row(t.index(), -lr * scale, &grad_t);
+        self.entity_proj.add_to_row(t.index(), -lr * scale, &grad_tp);
+        self.relations.add_to_row(r.index(), -lr * scale, &grad_r);
+        self.relation_proj.add_to_row(r.index(), -lr * scale, &grad_rp);
+        // Per-update constraints (‖e‖ ≤ 1, ‖r‖ ≤ 1, projectors bounded).
+        vector::project_to_ball(self.entities.row_mut(h.index()), 1.0);
+        vector::project_to_ball(self.entities.row_mut(t.index()), 1.0);
+        vector::project_to_ball(self.relations.row_mut(r.index()), 1.0);
+        vector::project_to_ball(self.entity_proj.row_mut(h.index()), 1.0);
+        vector::project_to_ball(self.entity_proj.row_mut(t.index()), 1.0);
+        vector::project_to_ball(self.relation_proj.row_mut(r.index()), 1.0);
+    }
+
+    /// Read access to the entity table.
+    pub fn entities(&self) -> &EmbeddingTable {
+        &self.entities
+    }
+}
+
+impl KgeModel for TransD {
+    fn dim(&self) -> usize {
+        self.entities.dim()
+    }
+
+    fn num_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    fn score(&self, h: EntityId, r: RelationId, t: EntityId) -> f32 {
+        -self.distance(h, r, t)
+    }
+
+    fn entity_embedding(&self, e: EntityId) -> &[f32] {
+        self.entities.row(e.index())
+    }
+
+    fn relation_embedding(&self, r: RelationId) -> &[f32] {
+        self.relations.row(r.index())
+    }
+
+    fn train_pair(&mut self, pos: Triple, neg: Triple, lr: f32) -> f32 {
+        let loss = self.margin + self.distance(pos.head, pos.rel, pos.tail)
+            - self.distance(neg.head, neg.rel, neg.tail);
+        if loss > 0.0 {
+            self.apply(pos, 1.0, lr);
+            self.apply(neg, -1.0, lr);
+            loss
+        } else {
+            0.0
+        }
+    }
+
+    fn post_epoch(&mut self) {
+        self.entities.project_rows_to_ball(1.0);
+        self.relations.project_rows_to_ball(1.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "TransD"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgrec_linalg::gradcheck;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> TransD {
+        let mut rng = StdRng::seed_from_u64(41);
+        TransD::new(&mut rng, 4, 2, 5, 1.0)
+    }
+
+    #[test]
+    fn zero_projections_reduce_to_transe() {
+        let mut m = model();
+        for i in 0..4 {
+            m.entity_proj.row_mut(i).fill(0.0);
+        }
+        for i in 0..2 {
+            m.relation_proj.row_mut(i).fill(0.0);
+        }
+        let (h, r, t) = (EntityId(0), RelationId(0), EntityId(1));
+        let hv = m.entities.row(0);
+        let rv = m.relations.row(0);
+        let tv = m.entities.row(1);
+        let transe: f32 =
+            (0..5).map(|i| (hv[i] + rv[i] - tv[i]).powi(2)).sum();
+        assert!((m.distance(h, r, t) - transe).abs() < 1e-6);
+    }
+
+    #[test]
+    fn head_gradients_match_finite_difference() {
+        let m = model();
+        let (h, r, t) = (EntityId(0), RelationId(1), EntityId(2));
+        let v = m.residual(h, r, t);
+        let hp = m.entity_proj.row(h.index());
+        let rp = m.relation_proj.row(r.index());
+        let c = vector::dot(rp, &v);
+        let grad_h: Vec<f32> = (0..v.len()).map(|i| 2.0 * (v[i] + c * hp[i])).collect();
+        let mut params = m.entities.row(h.index()).to_vec();
+        let m2 = m.clone();
+        gradcheck::assert_gradient(&mut params, &grad_h, 1e-3, 1e-2, |p| {
+            let mut mm = m2.clone();
+            mm.entities.row_mut(h.index()).copy_from_slice(p);
+            mm.distance(h, r, t)
+        });
+    }
+
+    #[test]
+    fn projection_gradients_match_finite_difference() {
+        let m = model();
+        let (h, r, t) = (EntityId(0), RelationId(1), EntityId(2));
+        let v = m.residual(h, r, t);
+        let hv = m.entities.row(h.index());
+        let tv = m.entities.row(t.index());
+        let hp = m.entity_proj.row(h.index());
+        let tp = m.entity_proj.row(t.index());
+        let rp = m.relation_proj.row(r.index());
+        let a = vector::dot(hp, hv);
+        let b = vector::dot(tp, tv);
+        let c = vector::dot(rp, &v);
+        // h_p gradient.
+        let grad_hp: Vec<f32> = hv.iter().map(|x| 2.0 * c * x).collect();
+        let mut params = hp.to_vec();
+        let m2 = m.clone();
+        gradcheck::assert_gradient(&mut params, &grad_hp, 1e-3, 1e-2, |p| {
+            let mut mm = m2.clone();
+            mm.entity_proj.row_mut(h.index()).copy_from_slice(p);
+            mm.distance(h, r, t)
+        });
+        // r_p gradient.
+        let grad_rp: Vec<f32> = v.iter().map(|x| 2.0 * (a - b) * x).collect();
+        let mut params = rp.to_vec();
+        gradcheck::assert_gradient(&mut params, &grad_rp, 1e-3, 2e-2, |p| {
+            let mut mm = m2.clone();
+            mm.relation_proj.row_mut(r.index()).copy_from_slice(p);
+            mm.distance(h, r, t)
+        });
+    }
+
+    #[test]
+    fn training_separates_pos_from_neg() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut m = TransD::new(&mut rng, 6, 2, 8, 1.0);
+        let pos = Triple::new(EntityId(0), RelationId(0), EntityId(1));
+        let neg = Triple::new(EntityId(0), RelationId(0), EntityId(2));
+        for _ in 0..300 {
+            m.train_pair(pos, neg, 0.02);
+            m.post_epoch();
+        }
+        assert!(m.score(pos.head, pos.rel, pos.tail) > m.score(neg.head, neg.rel, neg.tail));
+    }
+}

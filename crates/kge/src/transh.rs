@@ -1,0 +1,235 @@
+//! TransH (Wang et al. 2014): translation on relation-specific hyperplanes.
+//!
+//! Each relation carries a hyperplane normal `w_r` (kept unit-norm) and a
+//! translation `d_r` on that hyperplane. Entities are projected before
+//! translating: `h⊥ = h − (wᵀh)w`, `d(h,r,t) = ‖h⊥ + d_r − t⊥‖²`, allowing
+//! an entity to have different projections per relation — the fix for
+//! TransE's problems with 1-to-N / N-to-1 relations.
+
+use crate::model::KgeModel;
+use kgrec_graph::{EntityId, RelationId, Triple};
+use kgrec_linalg::{vector, EmbeddingTable};
+use rand::Rng;
+
+/// The TransH model.
+#[derive(Debug, Clone)]
+pub struct TransH {
+    entities: EmbeddingTable,
+    translations: EmbeddingTable,
+    normals: EmbeddingTable,
+    /// Ranking margin `γ`.
+    pub margin: f32,
+}
+
+impl TransH {
+    /// Creates a TransH model.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        num_entities: usize,
+        num_relations: usize,
+        dim: usize,
+        margin: f32,
+    ) -> Self {
+        let entities = EmbeddingTable::transe_init(rng, num_entities, dim);
+        let translations = EmbeddingTable::transe_init(rng, num_relations, dim);
+        let mut normals = EmbeddingTable::transe_init(rng, num_relations, dim);
+        normals.normalize_rows();
+        Self { entities, translations, normals, margin }
+    }
+
+    /// Hyperplane distance; see module docs.
+    pub fn distance(&self, h: EntityId, r: RelationId, t: EntityId) -> f32 {
+        let w = self.normals.row(r.index());
+        let dr = self.translations.row(r.index());
+        let hv = self.entities.row(h.index());
+        let tv = self.entities.row(t.index());
+        let ch = vector::dot(w, hv);
+        let ct = vector::dot(w, tv);
+        let mut acc = 0.0f32;
+        for i in 0..hv.len() {
+            let v = (hv[i] - ch * w[i]) + dr[i] - (tv[i] - ct * w[i]);
+            acc += v * v;
+        }
+        acc
+    }
+
+    /// The residual `v = h⊥ + d_r − t⊥` used by all gradients.
+    fn residual(&self, h: EntityId, r: RelationId, t: EntityId) -> Vec<f32> {
+        let w = self.normals.row(r.index());
+        let dr = self.translations.row(r.index());
+        let hv = self.entities.row(h.index());
+        let tv = self.entities.row(t.index());
+        let ch = vector::dot(w, hv);
+        let ct = vector::dot(w, tv);
+        (0..hv.len()).map(|i| (hv[i] - ch * w[i]) + dr[i] - (tv[i] - ct * w[i])).collect()
+    }
+
+    /// Applies `−lr·scale·∂d/∂θ` to every parameter of the triple.
+    ///
+    /// Derivation (with `u = h − t`, `c = wᵀu`, `v = u − c·w + d_r`):
+    /// `∂d/∂h = 2(v − (wᵀv)w)`, `∂d/∂t = −∂d/∂h`, `∂d/∂d_r = 2v`,
+    /// `∂d/∂w = −2[(vᵀw)·u + (wᵀu)·v]`.
+    fn apply(&mut self, triple: Triple, scale: f32, lr: f32) {
+        let v = self.residual(triple.head, triple.rel, triple.tail);
+        let w = self.normals.row(triple.rel.index()).to_vec();
+        let hv = self.entities.row(triple.head.index()).to_vec();
+        let tv = self.entities.row(triple.tail.index()).to_vec();
+        let wv = vector::dot(&w, &v);
+        let u: Vec<f32> = hv.iter().zip(tv.iter()).map(|(a, b)| a - b).collect();
+        let wu = vector::dot(&w, &u);
+
+        let grad_h: Vec<f32> = (0..v.len()).map(|i| 2.0 * (v[i] - wv * w[i])).collect();
+        let grad_dr: Vec<f32> = v.iter().map(|x| 2.0 * x).collect();
+        let grad_w: Vec<f32> = (0..v.len()).map(|i| -2.0 * (wv * u[i] + wu * v[i])).collect();
+
+        self.entities.add_to_row(triple.head.index(), -lr * scale, &grad_h);
+        self.entities.add_to_row(triple.tail.index(), lr * scale, &grad_h);
+        self.translations.add_to_row(triple.rel.index(), -lr * scale, &grad_dr);
+        self.normals.add_to_row(triple.rel.index(), -lr * scale, &grad_w);
+        // Per-update constraints (‖e‖ ≤ 1, ‖w‖ = 1) keep the margin loss
+        // from diverging between epochs.
+        vector::project_to_ball(self.entities.row_mut(triple.head.index()), 1.0);
+        vector::project_to_ball(self.entities.row_mut(triple.tail.index()), 1.0);
+        vector::normalize(self.normals.row_mut(triple.rel.index()));
+    }
+
+    /// Read access to the entity table.
+    pub fn entities(&self) -> &EmbeddingTable {
+        &self.entities
+    }
+}
+
+impl KgeModel for TransH {
+    fn dim(&self) -> usize {
+        self.entities.dim()
+    }
+
+    fn num_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    fn num_relations(&self) -> usize {
+        self.translations.len()
+    }
+
+    fn score(&self, h: EntityId, r: RelationId, t: EntityId) -> f32 {
+        -self.distance(h, r, t)
+    }
+
+    fn entity_embedding(&self, e: EntityId) -> &[f32] {
+        self.entities.row(e.index())
+    }
+
+    fn relation_embedding(&self, r: RelationId) -> &[f32] {
+        self.translations.row(r.index())
+    }
+
+    fn train_pair(&mut self, pos: Triple, neg: Triple, lr: f32) -> f32 {
+        let loss = self.margin + self.distance(pos.head, pos.rel, pos.tail)
+            - self.distance(neg.head, neg.rel, neg.tail);
+        if loss > 0.0 {
+            self.apply(pos, 1.0, lr);
+            self.apply(neg, -1.0, lr);
+            loss
+        } else {
+            0.0
+        }
+    }
+
+    fn post_epoch(&mut self) {
+        self.entities.project_rows_to_ball(1.0);
+        self.normals.normalize_rows();
+    }
+
+    fn name(&self) -> &'static str {
+        "TransH"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgrec_linalg::gradcheck;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> TransH {
+        let mut rng = StdRng::seed_from_u64(21);
+        TransH::new(&mut rng, 4, 2, 5, 1.0)
+    }
+
+    #[test]
+    fn projection_removes_normal_component() {
+        let m = model();
+        let (h, r, t) = (EntityId(0), RelationId(0), EntityId(1));
+        // The residual must be orthogonal to w up to the d_r component:
+        // v = h⊥ − t⊥ + d_r where h⊥, t⊥ ⊥ w.
+        let v = m.residual(h, r, t);
+        let w = m.normals.row(0);
+        let dr = m.translations.row(0);
+        let lhs = vector::dot(w, &v);
+        let rhs = vector::dot(w, dr);
+        assert!((lhs - rhs).abs() < 1e-5, "lhs={lhs} rhs={rhs}");
+    }
+
+    #[test]
+    fn head_gradient_matches_finite_difference() {
+        let m = model();
+        let (h, r, t) = (EntityId(0), RelationId(1), EntityId(2));
+        let v = m.residual(h, r, t);
+        let w = m.normals.row(r.index());
+        let wv = vector::dot(w, &v);
+        let grad_h: Vec<f32> = (0..v.len()).map(|i| 2.0 * (v[i] - wv * w[i])).collect();
+        let mut params = m.entities.row(h.index()).to_vec();
+        let m2 = m.clone();
+        gradcheck::assert_gradient(&mut params, &grad_h, 1e-3, 1e-2, |p| {
+            let mut mm = m2.clone();
+            mm.entities.row_mut(h.index()).copy_from_slice(p);
+            mm.distance(h, r, t)
+        });
+    }
+
+    #[test]
+    fn normal_gradient_matches_finite_difference() {
+        let m = model();
+        let (h, r, t) = (EntityId(0), RelationId(1), EntityId(2));
+        let v = m.residual(h, r, t);
+        let w = m.normals.row(r.index()).to_vec();
+        let hv = m.entities.row(h.index());
+        let tv = m.entities.row(t.index());
+        let u: Vec<f32> = hv.iter().zip(tv.iter()).map(|(a, b)| a - b).collect();
+        let wv = vector::dot(&w, &v);
+        let wu = vector::dot(&w, &u);
+        let grad_w: Vec<f32> = (0..v.len()).map(|i| -2.0 * (wv * u[i] + wu * v[i])).collect();
+        let mut params = w.clone();
+        let m2 = m.clone();
+        gradcheck::assert_gradient(&mut params, &grad_w, 1e-3, 1e-2, |p| {
+            let mut mm = m2.clone();
+            mm.normals.row_mut(r.index()).copy_from_slice(p);
+            mm.distance(h, r, t)
+        });
+    }
+
+    #[test]
+    fn training_separates_pos_from_neg() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut m = TransH::new(&mut rng, 6, 2, 8, 1.0);
+        let pos = Triple::new(EntityId(0), RelationId(0), EntityId(1));
+        let neg = Triple::new(EntityId(0), RelationId(0), EntityId(2));
+        for _ in 0..300 {
+            m.train_pair(pos, neg, 0.03);
+            m.post_epoch();
+        }
+        assert!(m.score(pos.head, pos.rel, pos.tail) > m.score(neg.head, neg.rel, neg.tail));
+    }
+
+    #[test]
+    fn post_epoch_constraints() {
+        let mut m = model();
+        m.entities.row_mut(0).fill(4.0);
+        m.normals.row_mut(0).fill(2.0);
+        m.post_epoch();
+        assert!(vector::norm(m.entities.row(0)) <= 1.0 + 1e-5);
+        assert!((vector::norm(m.normals.row(0)) - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,244 @@
+//! TransR (Lin et al. 2015): entities and relations in separate spaces.
+//!
+//! Each relation `r` owns a projection matrix `M_r ∈ ℝ^{k×d}` mapping
+//! entity space (dim `d`) into relation space (dim `k`):
+//! `d(h,r,t) = ‖M_r·h + r − M_r·t‖²`. CKE and KGAT pre-train their entity
+//! representations with exactly this model.
+
+use crate::model::KgeModel;
+use kgrec_graph::{EntityId, RelationId, Triple};
+use kgrec_linalg::{vector, EmbeddingTable, Matrix};
+use rand::Rng;
+
+/// The TransR model. Entity dim and relation dim may differ.
+#[derive(Debug, Clone)]
+pub struct TransR {
+    entities: EmbeddingTable,
+    relations: EmbeddingTable,
+    projections: Vec<Matrix>,
+    /// Ranking margin `γ`.
+    pub margin: f32,
+}
+
+impl TransR {
+    /// Creates a TransR model with `entity_dim`-dim entities and
+    /// `relation_dim`-dim relation space. Projections start at identity
+    /// (plus noise) as in the reference implementation.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        num_entities: usize,
+        num_relations: usize,
+        entity_dim: usize,
+        relation_dim: usize,
+        margin: f32,
+    ) -> Self {
+        let entities = EmbeddingTable::transe_init(rng, num_entities, entity_dim);
+        let relations = EmbeddingTable::transe_init(rng, num_relations, relation_dim);
+        let mut projections = Vec::with_capacity(num_relations);
+        for _ in 0..num_relations {
+            let mut m = Matrix::zeros(relation_dim, entity_dim);
+            for i in 0..relation_dim.min(entity_dim) {
+                m.set(i, i, 1.0);
+            }
+            // Small symmetric noise so relations differentiate.
+            for v in m.data_mut().iter_mut() {
+                *v += rng.gen_range(-0.05..0.05);
+            }
+            projections.push(m);
+        }
+        Self { entities, relations, projections, margin }
+    }
+
+    /// Projected translation distance; see module docs.
+    pub fn distance(&self, h: EntityId, r: RelationId, t: EntityId) -> f32 {
+        let m = &self.projections[r.index()];
+        let hr = m.matvec(self.entities.row(h.index()));
+        let tr = m.matvec(self.entities.row(t.index()));
+        let rv = self.relations.row(r.index());
+        let mut acc = 0.0f32;
+        for i in 0..rv.len() {
+            let v = hr[i] + rv[i] - tr[i];
+            acc += v * v;
+        }
+        acc
+    }
+
+    /// Residual `v = M_r(h − t) + r` in relation space.
+    fn residual(&self, h: EntityId, r: RelationId, t: EntityId) -> Vec<f32> {
+        let m = &self.projections[r.index()];
+        let hv = self.entities.row(h.index());
+        let tv = self.entities.row(t.index());
+        let u: Vec<f32> = hv.iter().zip(tv.iter()).map(|(a, b)| a - b).collect();
+        let mut v = m.matvec(&u);
+        vector::axpy(1.0, self.relations.row(r.index()), &mut v);
+        v
+    }
+
+    /// Gradients: `∂d/∂r = 2v`, `∂d/∂h = 2Mᵀv`, `∂d/∂t = −2Mᵀv`,
+    /// `∂d/∂M = 2·v·(h−t)ᵀ`.
+    fn apply(&mut self, triple: Triple, scale: f32, lr: f32) {
+        let v = self.residual(triple.head, triple.rel, triple.tail);
+        let two_v: Vec<f32> = v.iter().map(|x| 2.0 * x).collect();
+        let m = &self.projections[triple.rel.index()];
+        let grad_h = m.matvec_t(&two_v);
+        let hv = self.entities.row(triple.head.index()).to_vec();
+        let tv = self.entities.row(triple.tail.index()).to_vec();
+        let u: Vec<f32> = hv.iter().zip(tv.iter()).map(|(a, b)| a - b).collect();
+
+        self.relations.add_to_row(triple.rel.index(), -lr * scale, &two_v);
+        self.entities.add_to_row(triple.head.index(), -lr * scale, &grad_h);
+        self.entities.add_to_row(triple.tail.index(), lr * scale, &grad_h);
+        self.projections[triple.rel.index()].rank1_update(-lr * scale * 2.0, &v, &u);
+        // Per-update constraints: the paper bounds ‖e‖, ‖r‖ and ‖M_r·e‖;
+        // bounding the Frobenius norm of M_r is the cheap sufficient
+        // stand-in for the last one.
+        vector::project_to_ball(self.entities.row_mut(triple.head.index()), 1.0);
+        vector::project_to_ball(self.entities.row_mut(triple.tail.index()), 1.0);
+        vector::project_to_ball(self.relations.row_mut(triple.rel.index()), 1.0);
+        let m = &mut self.projections[triple.rel.index()];
+        let bound = 2.0 * (m.rows() as f32).sqrt();
+        let norm = m.frobenius_norm();
+        if norm > bound {
+            let ratio = bound / norm;
+            for x in m.data_mut().iter_mut() {
+                *x *= ratio;
+            }
+        }
+    }
+
+    /// Read access to the entity table.
+    pub fn entities(&self) -> &EmbeddingTable {
+        &self.entities
+    }
+
+    /// Adds a raw delta to one entity row. Joint-training recommenders
+    /// (CKE, KGAT) back-propagate their interaction loss into the
+    /// structural embeddings through this hook.
+    pub fn entity_row_add(&mut self, e: EntityId, delta: &[f32]) {
+        self.entities.add_to_row(e.index(), 1.0, delta);
+        // Maintain the model's ‖e‖ ≤ 1 invariant under external updates.
+        kgrec_linalg::vector::project_to_ball(self.entities.row_mut(e.index()), 1.0);
+    }
+
+    /// The projection matrix of a relation.
+    pub fn projection(&self, r: RelationId) -> &Matrix {
+        &self.projections[r.index()]
+    }
+}
+
+impl KgeModel for TransR {
+    fn dim(&self) -> usize {
+        self.entities.dim()
+    }
+
+    fn num_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    fn score(&self, h: EntityId, r: RelationId, t: EntityId) -> f32 {
+        -self.distance(h, r, t)
+    }
+
+    fn entity_embedding(&self, e: EntityId) -> &[f32] {
+        self.entities.row(e.index())
+    }
+
+    fn relation_embedding(&self, r: RelationId) -> &[f32] {
+        self.relations.row(r.index())
+    }
+
+    fn train_pair(&mut self, pos: Triple, neg: Triple, lr: f32) -> f32 {
+        let loss = self.margin + self.distance(pos.head, pos.rel, pos.tail)
+            - self.distance(neg.head, neg.rel, neg.tail);
+        if loss > 0.0 {
+            self.apply(pos, 1.0, lr);
+            self.apply(neg, -1.0, lr);
+            loss
+        } else {
+            0.0
+        }
+    }
+
+    fn post_epoch(&mut self) {
+        self.entities.project_rows_to_ball(1.0);
+        self.relations.project_rows_to_ball(1.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "TransR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgrec_linalg::gradcheck;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> TransR {
+        let mut rng = StdRng::seed_from_u64(31);
+        TransR::new(&mut rng, 4, 2, 5, 3, 1.0)
+    }
+
+    #[test]
+    fn dims_can_differ() {
+        let m = model();
+        assert_eq!(m.dim(), 5);
+        assert_eq!(m.relation_embedding(RelationId(0)).len(), 3);
+    }
+
+    #[test]
+    fn head_gradient_matches_finite_difference() {
+        let m = model();
+        let (h, r, t) = (EntityId(0), RelationId(1), EntityId(2));
+        let v = m.residual(h, r, t);
+        let two_v: Vec<f32> = v.iter().map(|x| 2.0 * x).collect();
+        let grad_h = m.projections[r.index()].matvec_t(&two_v);
+        let mut params = m.entities.row(h.index()).to_vec();
+        let m2 = m.clone();
+        gradcheck::assert_gradient(&mut params, &grad_h, 1e-3, 1e-2, |p| {
+            let mut mm = m2.clone();
+            mm.entities.row_mut(h.index()).copy_from_slice(p);
+            mm.distance(h, r, t)
+        });
+    }
+
+    #[test]
+    fn projection_gradient_matches_finite_difference() {
+        let m = model();
+        let (h, r, t) = (EntityId(0), RelationId(1), EntityId(2));
+        let v = m.residual(h, r, t);
+        let hv = m.entities.row(h.index());
+        let tv = m.entities.row(t.index());
+        let u: Vec<f32> = hv.iter().zip(tv.iter()).map(|(a, b)| a - b).collect();
+        // ∂d/∂M = 2·v·uᵀ, flattened row-major.
+        let mut grad_m = Matrix::zeros(3, 5);
+        grad_m.rank1_update(2.0, &v, &u);
+        let mut params = m.projections[r.index()].data().to_vec();
+        let analytic = grad_m.data().to_vec();
+        let m2 = m.clone();
+        gradcheck::assert_gradient(&mut params, &analytic, 1e-3, 1e-2, |p| {
+            let mut mm = m2.clone();
+            mm.projections[r.index()] = Matrix::from_vec(3, 5, p.to_vec());
+            mm.distance(h, r, t)
+        });
+    }
+
+    #[test]
+    fn training_separates_pos_from_neg() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut m = TransR::new(&mut rng, 6, 2, 6, 6, 1.0);
+        let pos = Triple::new(EntityId(0), RelationId(0), EntityId(1));
+        let neg = Triple::new(EntityId(0), RelationId(0), EntityId(2));
+        for _ in 0..300 {
+            m.train_pair(pos, neg, 0.02);
+            m.post_epoch();
+        }
+        assert!(m.score(pos.head, pos.rel, pos.tail) > m.score(neg.head, neg.rel, neg.tail));
+    }
+}

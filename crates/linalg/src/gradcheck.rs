@@ -1,0 +1,108 @@
+//! Finite-difference gradient checking.
+//!
+//! Every model in `kgrec-models` ships hand-derived gradients; these
+//! helpers are how their test suites prove the derivations. Central
+//! difference with a relative-error criterion is used, which is robust to
+//! the wide magnitude range of embedding gradients.
+
+/// Result of checking one coordinate.
+#[derive(Debug, Clone, Copy)]
+pub struct CoordCheck {
+    /// Flat index of the coordinate checked.
+    pub index: usize,
+    /// Analytic gradient supplied by the caller.
+    pub analytic: f32,
+    /// Central finite-difference estimate.
+    pub numeric: f32,
+    /// `|analytic − numeric| / max(1, |analytic|, |numeric|)`.
+    pub rel_error: f32,
+}
+
+/// Checks an analytic gradient against central finite differences.
+///
+/// `f` evaluates the scalar loss at the current parameters; `params` is the
+/// flat parameter vector (restored to its original values afterwards);
+/// `analytic` is the caller's gradient of the same length. Returns the
+/// per-coordinate report for any coordinate whose relative error exceeds
+/// `tol` — an empty vector means the gradient checks out.
+pub fn check_gradient<F>(
+    params: &mut [f32],
+    analytic: &[f32],
+    eps: f32,
+    tol: f32,
+    mut f: F,
+) -> Vec<CoordCheck>
+where
+    F: FnMut(&[f32]) -> f32,
+{
+    assert_eq!(params.len(), analytic.len(), "check_gradient: length mismatch");
+    let mut failures = Vec::new();
+    for i in 0..params.len() {
+        let orig = params[i];
+        params[i] = orig + eps;
+        let fp = f(params);
+        params[i] = orig - eps;
+        let fm = f(params);
+        params[i] = orig;
+        let numeric = (fp - fm) / (2.0 * eps);
+        let denom = 1.0f32.max(analytic[i].abs()).max(numeric.abs());
+        let rel_error = (analytic[i] - numeric).abs() / denom;
+        if rel_error > tol {
+            failures.push(CoordCheck { index: i, analytic: analytic[i], numeric, rel_error });
+        }
+    }
+    failures
+}
+
+/// Asserts that the analytic gradient passes [`check_gradient`]; panics with
+/// a readable report otherwise. Intended for test code.
+pub fn assert_gradient<F>(params: &mut [f32], analytic: &[f32], eps: f32, tol: f32, f: F)
+where
+    F: FnMut(&[f32]) -> f32,
+{
+    let failures = check_gradient(params, analytic, eps, tol, f);
+    if !failures.is_empty() {
+        let mut msg = format!("gradient check failed on {} coordinate(s):\n", failures.len());
+        for c in failures.iter().take(8) {
+            msg.push_str(&format!(
+                "  [{}] analytic={:.6} numeric={:.6} rel_err={:.4}\n",
+                c.index, c.analytic, c.numeric, c.rel_error
+            ));
+        }
+        panic!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_correct_gradient() {
+        // f(x) = x0² + 3 x1, grad = [2 x0, 3].
+        let mut params = vec![1.5f32, -2.0];
+        let analytic = vec![3.0f32, 3.0];
+        let fails = check_gradient(&mut params, &analytic, 1e-3, 1e-2, |p| {
+            p[0] * p[0] + 3.0 * p[1]
+        });
+        assert!(fails.is_empty(), "{fails:?}");
+        // Parameters restored.
+        assert_eq!(params, vec![1.5, -2.0]);
+    }
+
+    #[test]
+    fn rejects_wrong_gradient() {
+        let mut params = vec![1.0f32];
+        let analytic = vec![10.0f32]; // true gradient is 2.
+        let fails = check_gradient(&mut params, &analytic, 1e-3, 1e-2, |p| p[0] * p[0]);
+        assert_eq!(fails.len(), 1);
+        assert!((fails[0].numeric - 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient check failed")]
+    fn assert_panics_on_bad_gradient() {
+        let mut params = vec![1.0f32];
+        assert_gradient(&mut params, &[0.0], 1e-3, 1e-2, |p| p[0] * p[0]);
+    }
+}

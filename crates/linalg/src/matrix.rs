@@ -1,0 +1,236 @@
+//! Row-major dense matrices.
+//!
+//! [`Matrix`] is the parameter container for projection matrices (TransR's
+//! `M_r`, RippleNet's relation matrices `R_i`, dense-layer weights). The
+//! kernels here are exactly the ones the hand-written backward passes need:
+//! `A·x`, `Aᵀ·x`, rank-1 updates (`A += α·x·yᵀ`) and outer products.
+
+use crate::vector;
+
+/// A dense row-major `rows × cols` matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "Matrix::from_vec: size mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the underlying row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Matrix–vector product `y = A·x` (`x.len() == cols`).
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        let mut y = vec![0.0f32; self.rows];
+        for r in 0..self.rows {
+            y[r] = vector::dot(self.row(r), x);
+        }
+        y
+    }
+
+    /// Transposed matrix–vector product `y = Aᵀ·x` (`x.len() == rows`).
+    pub fn matvec_t(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.rows, "matvec_t: dimension mismatch");
+        let mut y = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            vector::axpy(x[r], self.row(r), &mut y);
+        }
+        y
+    }
+
+    /// Rank-1 update `A += α · x · yᵀ` (`x.len() == rows`, `y.len() == cols`).
+    ///
+    /// This is the gradient accumulation kernel for any bilinear form
+    /// `xᵀ A y`: `∂/∂A (xᵀ A y) = x yᵀ`.
+    pub fn rank1_update(&mut self, alpha: f32, x: &[f32], y: &[f32]) {
+        assert_eq!(x.len(), self.rows, "rank1_update: row mismatch");
+        assert_eq!(y.len(), self.cols, "rank1_update: col mismatch");
+        for r in 0..self.rows {
+            let s = alpha * x[r];
+            vector::axpy(s, y, self.row_mut(r));
+        }
+    }
+
+    /// Dense matrix product `A·B`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul: inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = other.row(k);
+                vector::axpy(a, brow, out.row_mut(r));
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose `Aᵀ`.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// `A += α · B`, element-wise.
+    pub fn add_scaled(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!(self.rows, other.rows, "add_scaled: row mismatch");
+        assert_eq!(self.cols, other.cols, "add_scaled: col mismatch");
+        vector::axpy(alpha, &other.data, &mut self.data);
+    }
+
+    /// Sets every element to zero (for gradient buffers reused across steps).
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        vector::norm(&self.data)
+    }
+}
+
+/// Outer product `x · yᵀ` as a fresh matrix.
+pub fn outer(x: &[f32], y: &[f32]) -> Matrix {
+    let mut m = Matrix::zeros(x.len(), y.len());
+    m.rank1_update(1.0, x, y);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matvec_is_noop() {
+        let i = Matrix::identity(3);
+        let x = vec![1.0, -2.0, 3.0];
+        assert_eq!(i.matvec(&x), x);
+    }
+
+    #[test]
+    fn matvec_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_t_is_transpose_matvec() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = vec![2.0, -1.0];
+        assert_eq!(a.matvec_t(&x), a.transpose().matvec(&x));
+    }
+
+    #[test]
+    fn rank1_update_matches_outer() {
+        let mut a = Matrix::zeros(2, 3);
+        a.rank1_update(2.0, &[1.0, -1.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(a.data(), &[2.0, 4.0, 6.0, -2.0, -4.0, -6.0]);
+        let o = outer(&[1.0, -1.0], &[1.0, 2.0, 3.0]);
+        let mut scaled = o.clone();
+        scaled.fill_zero();
+        scaled.add_scaled(2.0, &o);
+        assert_eq!(a, scaled);
+    }
+
+    #[test]
+    fn matmul_associates_with_matvec() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = vec![5.0, 7.0];
+        let ab = a.matmul(&b);
+        let lhs = ab.matvec(&x);
+        let rhs = a.matvec(&b.matvec(&x));
+        for (l, r) in lhs.iter().zip(rhs.iter()) {
+            assert!((l - r).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn transpose_involutive() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn from_vec_size_checked() {
+        Matrix::from_vec(2, 2, vec![1.0]);
+    }
+}

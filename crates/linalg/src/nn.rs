@@ -1,0 +1,390 @@
+//! Dense neural layers with hand-written backward passes.
+//!
+//! A handful of surveyed models wrap their scoring functions in small MLPs
+//! (DKN's scorer, MKR's towers, MCRec's co-attention). [`Dense`] implements
+//! one affine-plus-activation layer; [`Mlp`] chains them. Both accumulate
+//! parameter gradients internally — the training loop is:
+//!
+//! ```text
+//! mlp.zero_grad();
+//! let y = mlp.forward(&x);            // caches activations
+//! let dx = mlp.backward(&dl_dy);      // accumulates dW, db, returns dL/dx
+//! mlp.step_sgd(lr, l2);
+//! ```
+//!
+//! Layers deliberately cache the *last* forward pass only: the models train
+//! one example at a time (matching the original SGD formulations), and the
+//! gradient-check tests validate each layer against finite differences.
+
+use crate::matrix::Matrix;
+use crate::vector;
+use crate::init;
+use rand::Rng;
+
+/// Element-wise activation functions used across the models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// `f(x) = x`.
+    Identity,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+    /// `log(1 + eˣ)`.
+    Softplus,
+}
+
+impl Activation {
+    /// Applies the activation to one value.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => x,
+            Activation::Sigmoid => vector::sigmoid(x),
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => x.max(0.0),
+            Activation::Softplus => vector::softplus(x),
+        }
+    }
+
+    /// Derivative `f'(x)` given both the pre-activation `x` and the output
+    /// `y = f(x)` (whichever is cheaper is used).
+    #[inline]
+    pub fn derivative(self, x: f32, y: f32) -> f32 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Softplus => vector::sigmoid(x),
+        }
+    }
+
+    /// Applies the activation element-wise in place.
+    pub fn apply_slice(self, xs: &mut [f32]) {
+        for v in xs.iter_mut() {
+            *v = self.apply(*v);
+        }
+    }
+}
+
+/// One dense layer `y = f(W·x + b)` with gradient accumulation.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    w: Matrix,
+    b: Vec<f32>,
+    gw: Matrix,
+    gb: Vec<f32>,
+    act: Activation,
+    // Cached forward state (input, pre-activation, output).
+    last_x: Vec<f32>,
+    last_pre: Vec<f32>,
+    last_y: Vec<f32>,
+}
+
+impl Dense {
+    /// Creates a layer with Xavier-uniform weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, input: usize, output: usize, act: Activation) -> Self {
+        let mut w = Matrix::zeros(output, input);
+        init::xavier_uniform(rng, w.data_mut(), input, output);
+        Self {
+            gw: Matrix::zeros(output, input),
+            gb: vec![0.0; output],
+            b: vec![0.0; output],
+            w,
+            act,
+            last_x: Vec::new(),
+            last_pre: Vec::new(),
+            last_y: Vec::new(),
+        }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Immutable weight matrix view.
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Mutable weight matrix view (for custom initialization in tests).
+    pub fn weights_mut(&mut self) -> &mut Matrix {
+        &mut self.w
+    }
+
+    /// Immutable bias view.
+    pub fn bias(&self) -> &[f32] {
+        &self.b
+    }
+
+    /// Runs the layer forward, caching the activations for `backward`.
+    pub fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.w.cols(), "Dense::forward: input dim mismatch");
+        let mut pre = self.w.matvec(x);
+        vector::axpy(1.0, &self.b, &mut pre);
+        let mut y = pre.clone();
+        self.act.apply_slice(&mut y);
+        self.last_x = x.to_vec();
+        self.last_pre = pre;
+        self.last_y = y.clone();
+        y
+    }
+
+    /// Pure inference forward pass: no caching, usable through `&self`.
+    pub fn infer(&self, x: &[f32]) -> Vec<f32> {
+        let mut pre = self.w.matvec(x);
+        vector::axpy(1.0, &self.b, &mut pre);
+        self.act.apply_slice(&mut pre);
+        pre
+    }
+
+    /// Back-propagates `dl_dy` through the cached forward pass, accumulating
+    /// parameter gradients, and returns `dl_dx`.
+    ///
+    /// # Panics
+    /// Panics if `forward` has not been called or dimensions disagree.
+    pub fn backward(&mut self, dl_dy: &[f32]) -> Vec<f32> {
+        assert_eq!(dl_dy.len(), self.w.rows(), "Dense::backward: output dim mismatch");
+        assert_eq!(self.last_x.len(), self.w.cols(), "Dense::backward: forward not cached");
+        // dl/dpre = dl/dy * f'(pre)
+        let mut dpre = vec![0.0f32; dl_dy.len()];
+        for i in 0..dl_dy.len() {
+            dpre[i] = dl_dy[i] * self.act.derivative(self.last_pre[i], self.last_y[i]);
+        }
+        // dW += dpre · xᵀ ; db += dpre
+        self.gw.rank1_update(1.0, &dpre, &self.last_x);
+        vector::axpy(1.0, &dpre, &mut self.gb);
+        // dl/dx = Wᵀ · dpre
+        self.w.matvec_t(&dpre)
+    }
+
+    /// Zeroes the accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.gw.fill_zero();
+        self.gb.fill(0.0);
+    }
+
+    /// Applies one SGD step with learning rate `lr` and L2 coefficient `l2`,
+    /// then clears the gradients.
+    pub fn step_sgd(&mut self, lr: f32, l2: f32) {
+        let gw = self.gw.data();
+        for (p, g) in self.w.data_mut().iter_mut().zip(gw.iter()) {
+            *p -= lr * (g + l2 * *p);
+        }
+        for (p, g) in self.b.iter_mut().zip(self.gb.iter()) {
+            *p -= lr * g;
+        }
+        self.zero_grad();
+    }
+}
+
+/// A feed-forward stack of [`Dense`] layers.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes. `sizes = [in, h1, …, out]`;
+    /// hidden layers use `hidden_act`, the final layer uses `out_act`.
+    ///
+    /// # Panics
+    /// Panics if fewer than two sizes are given.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        sizes: &[usize],
+        hidden_act: Activation,
+        out_act: Activation,
+    ) -> Self {
+        assert!(sizes.len() >= 2, "Mlp: need at least input and output sizes");
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for w in sizes.windows(2) {
+            let is_last = layers.len() == sizes.len() - 2;
+            let act = if is_last { out_act } else { hidden_act };
+            layers.push(Dense::new(rng, w[0], w[1], act));
+        }
+        Self { layers }
+    }
+
+    /// The layers, for inspection.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Mutable layer access (tests use this for deterministic weights).
+    pub fn layers_mut(&mut self) -> &mut [Dense] {
+        &mut self.layers
+    }
+
+    /// Forward pass with caching for `backward`.
+    pub fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        let mut cur = x.to_vec();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    /// Pure inference pass without caching.
+    pub fn infer(&self, x: &[f32]) -> Vec<f32> {
+        let mut cur = x.to_vec();
+        for layer in &self.layers {
+            cur = layer.infer(&cur);
+        }
+        cur
+    }
+
+    /// Back-propagates through all layers; returns `dL/dx`.
+    pub fn backward(&mut self, dl_dy: &[f32]) -> Vec<f32> {
+        let mut grad = dl_dy.to_vec();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        grad
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// SGD step on every layer, then clears gradients.
+    pub fn step_sgd(&mut self, lr: f32, l2: f32) {
+        for layer in &mut self.layers {
+            layer.step_sgd(lr, l2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn activations_match_derivative_by_finite_difference() {
+        let acts = [
+            Activation::Identity,
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::Relu,
+            Activation::Softplus,
+        ];
+        for act in acts {
+            for &x in &[-2.0f32, -0.5, 0.3, 1.7] {
+                let eps = 1e-3;
+                let fd = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let an = act.derivative(x, act.apply(x));
+                assert!((fd - an).abs() < 1e-2, "{act:?} x={x} fd={fd} an={an}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_backward_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut layer = Dense::new(&mut rng, 3, 2, Activation::Tanh);
+        let x = [0.2f32, -0.4, 0.9];
+        // Loss = sum of outputs.
+        let y = layer.forward(&x);
+        let dl_dy = vec![1.0f32; y.len()];
+        let dx = layer.backward(&dl_dy);
+        let eps = 1e-3;
+        for i in 0..x.len() {
+            let mut xp = x;
+            xp[i] += eps;
+            let mut xm = x;
+            xm[i] -= eps;
+            let lp: f32 = layer.infer(&xp).iter().sum();
+            let lm: f32 = layer.infer(&xm).iter().sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((dx[i] - fd).abs() < 1e-2, "i={i} dx={} fd={fd}", dx[i]);
+        }
+    }
+
+    #[test]
+    fn dense_weight_grad_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut layer = Dense::new(&mut rng, 2, 2, Activation::Sigmoid);
+        let x = [0.5f32, -1.0];
+        let y = layer.forward(&x);
+        let dl_dy = vec![1.0f32; y.len()];
+        let _ = layer.backward(&dl_dy);
+        let gw = layer.gw.clone();
+        let eps = 1e-3;
+        for r in 0..2 {
+            for c in 0..2 {
+                let orig = layer.w.get(r, c);
+                layer.w.set(r, c, orig + eps);
+                let lp: f32 = layer.infer(&x).iter().sum();
+                layer.w.set(r, c, orig - eps);
+                let lm: f32 = layer.infer(&x).iter().sum();
+                layer.w.set(r, c, orig);
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!((gw.get(r, c) - fd).abs() < 1e-2, "r={r} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn mlp_learns_xor() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let mut mlp = Mlp::new(&mut rng, &[2, 8, 1], Activation::Tanh, Activation::Sigmoid);
+        let data = [
+            ([0.0f32, 0.0], 0.0f32),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 0.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ];
+        for _ in 0..3000 {
+            for (x, t) in &data {
+                mlp.zero_grad();
+                let y = mlp.forward(x)[0];
+                // Binary cross-entropy gradient wrt sigmoid output: (y - t)/ (y(1-y))
+                // Use squared error for robustness: dl/dy = 2(y - t).
+                let _ = mlp.backward(&[2.0 * (y - t)]);
+                mlp.step_sgd(0.5, 0.0);
+            }
+        }
+        for (x, t) in &data {
+            let y = mlp.infer(x)[0];
+            assert!((y - t).abs() < 0.2, "x={x:?} y={y} t={t}");
+        }
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mlp = Mlp::new(&mut rng, &[4, 3, 2], Activation::Relu, Activation::Identity);
+        let x = [0.1f32, 0.2, 0.3, 0.4];
+        let a = mlp.forward(&x);
+        let b = mlp.infer(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "input dim mismatch")]
+    fn forward_checks_dims() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = Dense::new(&mut rng, 3, 2, Activation::Identity);
+        let _ = layer.forward(&[1.0]);
+    }
+}

@@ -1,0 +1,276 @@
+//! First-order optimizers with sparse row-update support.
+//!
+//! The recommenders update only the embedding rows touched by a minibatch,
+//! so optimizer state must be addressable at arbitrary offsets within a
+//! parameter tensor. [`Optimizer::step_at`] takes the flat offset of the
+//! slice being updated; the stateful optimizers keep their moment buffers
+//! sized to the whole tensor and index them by that offset.
+//!
+//! The convention throughout `kgrec` is *gradient descent*: callers pass the
+//! gradient of the **loss** and the optimizer subtracts the scaled update.
+
+/// Common interface for the per-tensor optimizers.
+pub trait Optimizer {
+    /// Applies one update to `param`, a slice living at flat offset
+    /// `offset` within the tensor this optimizer was created for, given the
+    /// corresponding loss gradient `grad`.
+    ///
+    /// # Panics
+    /// Panics if `param.len() != grad.len()` or if the slice reaches past
+    /// the length the optimizer was created with (for stateful optimizers).
+    fn step_at(&mut self, offset: usize, param: &mut [f32], grad: &[f32]);
+
+    /// Convenience for dense tensors: updates the whole parameter vector.
+    fn step(&mut self, param: &mut [f32], grad: &[f32]) {
+        self.step_at(0, param, grad);
+    }
+
+    /// Marks the beginning of a new optimizer step (minibatch). Stateless
+    /// optimizers ignore this; Adam uses it for bias correction.
+    fn begin_step(&mut self) {}
+
+    /// The current base learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the base learning rate (for schedules / decay).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent with optional decoupled L2 weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    /// L2 coefficient applied as `param -= lr * l2 * param` per update.
+    pub l2: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr` and no weight decay.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, l2: 0.0 }
+    }
+
+    /// Creates SGD with learning rate `lr` and L2 coefficient `l2`.
+    pub fn with_l2(lr: f32, l2: f32) -> Self {
+        Self { lr, l2 }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step_at(&mut self, _offset: usize, param: &mut [f32], grad: &[f32]) {
+        assert_eq!(param.len(), grad.len(), "Sgd: dimension mismatch");
+        let lr = self.lr;
+        let l2 = self.l2;
+        for (p, g) in param.iter_mut().zip(grad.iter()) {
+            *p -= lr * (g + l2 * *p);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// AdaGrad: per-coordinate adaptive learning rates.
+#[derive(Debug, Clone)]
+pub struct Adagrad {
+    lr: f32,
+    eps: f32,
+    accum: Vec<f32>,
+    /// L2 coefficient folded into the gradient before accumulation.
+    pub l2: f32,
+}
+
+impl Adagrad {
+    /// Creates AdaGrad state for a tensor of `n` parameters.
+    pub fn new(n: usize, lr: f32) -> Self {
+        Self { lr, eps: 1e-8, accum: vec![0.0; n], l2: 0.0 }
+    }
+}
+
+impl Optimizer for Adagrad {
+    fn step_at(&mut self, offset: usize, param: &mut [f32], grad: &[f32]) {
+        assert_eq!(param.len(), grad.len(), "Adagrad: dimension mismatch");
+        assert!(
+            offset + param.len() <= self.accum.len(),
+            "Adagrad: slice out of range for optimizer state"
+        );
+        let lr = self.lr;
+        let eps = self.eps;
+        let l2 = self.l2;
+        let acc = &mut self.accum[offset..offset + param.len()];
+        for ((p, &g0), a) in param.iter_mut().zip(grad.iter()).zip(acc.iter_mut()) {
+            let g = g0 + l2 * *p;
+            *a += g * g;
+            *p -= lr * g / (a.sqrt() + eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam with global step-count bias correction.
+///
+/// For sparse updates the bias correction uses the global step counter `t`,
+/// which matches the "lazy Adam" behaviour of the frameworks the original
+/// papers used.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+    /// Decoupled weight-decay coefficient (AdamW-style).
+    pub l2: f32,
+}
+
+impl Adam {
+    /// Creates Adam state for a tensor of `n` parameters with the standard
+    /// hyper-parameters (β₁=0.9, β₂=0.999, ε=1e-8).
+    pub fn new(n: usize, lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+            l2: 0.0,
+        }
+    }
+
+    /// Current global step count.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    fn step_at(&mut self, offset: usize, param: &mut [f32], grad: &[f32]) {
+        assert_eq!(param.len(), grad.len(), "Adam: dimension mismatch");
+        assert!(
+            offset + param.len() <= self.m.len(),
+            "Adam: slice out of range for optimizer state"
+        );
+        // Callers that never call begin_step still get correct behaviour:
+        // treat each step_at as its own step in that case is wrong for
+        // minibatches, so we lazily start step 1 instead.
+        let t = self.t.max(1);
+        let bc1 = 1.0 - self.beta1.powi(t as i32);
+        let bc2 = 1.0 - self.beta2.powi(t as i32);
+        let lr = self.lr;
+        let (b1, b2, eps, l2) = (self.beta1, self.beta2, self.eps, self.l2);
+        let m = &mut self.m[offset..offset + param.len()];
+        let v = &mut self.v[offset..offset + param.len()];
+        for i in 0..param.len() {
+            let g = grad[i];
+            m[i] = b1 * m[i] + (1.0 - b1) * g;
+            v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+            let mhat = m[i] / bc1;
+            let vhat = v[i] / bc2;
+            param[i] -= lr * (mhat / (vhat.sqrt() + eps) + l2 * param[i]);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// f(x) = Σ (x_i - target_i)^2 — gradient 2(x - t).
+    fn quad_grad(x: &[f32], target: &[f32]) -> Vec<f32> {
+        x.iter().zip(target.iter()).map(|(a, b)| 2.0 * (a - b)).collect()
+    }
+
+    fn converges<O: Optimizer>(mut opt: O, steps: usize) -> f32 {
+        let target = [1.0f32, -2.0, 0.5];
+        let mut x = [0.0f32; 3];
+        for _ in 0..steps {
+            opt.begin_step();
+            let g = quad_grad(&x, &target);
+            opt.step(&mut x, &g);
+        }
+        x.iter().zip(target.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        assert!(converges(Sgd::new(0.1), 200) < 1e-3);
+    }
+
+    #[test]
+    fn adagrad_converges_on_quadratic() {
+        assert!(converges(Adagrad::new(3, 0.5), 500) < 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        assert!(converges(Adam::new(3, 0.05), 500) < 1e-2);
+    }
+
+    #[test]
+    fn sgd_l2_shrinks_weights() {
+        let mut opt = Sgd::with_l2(0.1, 1.0);
+        let mut x = [1.0f32];
+        opt.step(&mut x, &[0.0]);
+        assert!((x[0] - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sparse_offsets_keep_independent_state() {
+        let mut opt = Adagrad::new(4, 0.1);
+        let mut a = [1.0f32, 1.0];
+        let mut b = [1.0f32, 1.0];
+        // Hammer the first slice; the second slice's accumulator must be
+        // untouched, so its first update has the full step size.
+        for _ in 0..50 {
+            opt.step_at(0, &mut a, &[1.0, 1.0]);
+        }
+        let before = b[0];
+        opt.step_at(2, &mut b, &[1.0, 1.0]);
+        let first_step_b = before - b[0];
+        // A fresh accumulator gives step ≈ lr; the hammered one is much smaller.
+        assert!(first_step_b > 0.09, "first_step_b={first_step_b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn adam_offset_bounds_checked() {
+        let mut opt = Adam::new(2, 0.1);
+        let mut x = [0.0f32, 0.0];
+        opt.step_at(1, &mut x, &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn learning_rate_schedule_settable() {
+        let mut opt = Sgd::new(0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+}

@@ -1,0 +1,361 @@
+//! Free functions over `f32` slices.
+//!
+//! These are the primitive kernels used by every model: inner products,
+//! scaled additions, element-wise products, norms and the numerically
+//! stable softmax / log-sigmoid used in attention and loss computations.
+//!
+//! All functions panic if slice lengths disagree — mismatched dimensions
+//! are programmer errors, never data errors.
+
+/// Inner product `x · y`.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot: dimension mismatch");
+    let mut acc = 0.0f32;
+    for (a, b) in x.iter().zip(y.iter()) {
+        acc += a * b;
+    }
+    acc
+}
+
+/// `y += alpha * x` (the BLAS `axpy` kernel).
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: dimension mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha`.
+#[inline]
+pub fn scale(x: &mut [f32], alpha: f32) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Element-wise sum `x + y` into a fresh vector.
+pub fn add(x: &[f32], y: &[f32]) -> Vec<f32> {
+    assert_eq!(x.len(), y.len(), "add: dimension mismatch");
+    x.iter().zip(y.iter()).map(|(a, b)| a + b).collect()
+}
+
+/// Element-wise difference `x - y` into a fresh vector.
+pub fn sub(x: &[f32], y: &[f32]) -> Vec<f32> {
+    assert_eq!(x.len(), y.len(), "sub: dimension mismatch");
+    x.iter().zip(y.iter()).map(|(a, b)| a - b).collect()
+}
+
+/// Element-wise (Hadamard) product `x ⊙ y` into a fresh vector.
+pub fn hadamard(x: &[f32], y: &[f32]) -> Vec<f32> {
+    assert_eq!(x.len(), y.len(), "hadamard: dimension mismatch");
+    x.iter().zip(y.iter()).map(|(a, b)| a * b).collect()
+}
+
+/// Squared Euclidean norm `‖x‖²`.
+#[inline]
+pub fn norm_sq(x: &[f32]) -> f32 {
+    dot(x, x)
+}
+
+/// Euclidean norm `‖x‖`.
+#[inline]
+pub fn norm(x: &[f32]) -> f32 {
+    norm_sq(x).sqrt()
+}
+
+/// L1 norm `Σ|xᵢ|`.
+#[inline]
+pub fn norm_l1(x: &[f32]) -> f32 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Squared Euclidean distance `‖x − y‖²`.
+#[inline]
+pub fn dist_sq(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dist_sq: dimension mismatch");
+    let mut acc = 0.0f32;
+    for (a, b) in x.iter().zip(y.iter()) {
+        let d = a - b;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Normalizes `x` to unit Euclidean length in place.
+///
+/// A zero vector is left untouched (there is no direction to keep).
+pub fn normalize(x: &mut [f32]) {
+    let n = norm(x);
+    if n > 0.0 {
+        scale(x, 1.0 / n);
+    }
+}
+
+/// Projects `x` onto the Euclidean ball of radius `r` in place.
+///
+/// This is the constraint-projection step used by the translation-distance
+/// KGE models (TransE and friends constrain entity embeddings to `‖e‖ ≤ 1`).
+pub fn project_to_ball(x: &mut [f32], r: f32) {
+    let n = norm(x);
+    if n > r {
+        scale(x, r / n);
+    }
+}
+
+/// Cosine similarity; returns `0.0` when either vector is zero.
+pub fn cosine(x: &[f32], y: &[f32]) -> f32 {
+    let nx = norm(x);
+    let ny = norm(y);
+    if nx == 0.0 || ny == 0.0 {
+        return 0.0;
+    }
+    dot(x, y) / (nx * ny)
+}
+
+/// Logistic sigmoid `σ(x) = 1 / (1 + e^(−x))`, computed stably for large |x|.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable `log σ(x) = −log(1 + e^(−x))`.
+#[inline]
+pub fn log_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        -(-x).exp().ln_1p()
+    } else {
+        x - x.exp().ln_1p()
+    }
+}
+
+/// Softplus `log(1 + eˣ)`, computed stably.
+#[inline]
+pub fn softplus(x: f32) -> f32 {
+    if x > 0.0 {
+        x + (-x).exp().ln_1p()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// In-place numerically stable softmax.
+///
+/// An empty slice is a no-op. Uniform output is produced when all inputs
+/// are equal (including all `-inf`-free extreme values).
+pub fn softmax_in_place(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in x.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        scale(x, 1.0 / sum);
+    } else {
+        // All inputs were -inf; fall back to uniform.
+        let u = 1.0 / x.len() as f32;
+        x.fill(u);
+    }
+}
+
+/// Softmax into a fresh vector; see [`softmax_in_place`].
+pub fn softmax(x: &[f32]) -> Vec<f32> {
+    let mut out = x.to_vec();
+    softmax_in_place(&mut out);
+    out
+}
+
+/// Backward pass through softmax.
+///
+/// Given the softmax output `p` and the gradient `dl_dp` of the loss with
+/// respect to that output, returns the gradient with respect to the logits:
+/// `dl_dz_i = p_i * (dl_dp_i − Σ_j dl_dp_j * p_j)`.
+pub fn softmax_backward(p: &[f32], dl_dp: &[f32]) -> Vec<f32> {
+    assert_eq!(p.len(), dl_dp.len(), "softmax_backward: dimension mismatch");
+    let inner = dot(p, dl_dp);
+    p.iter()
+        .zip(dl_dp.iter())
+        .map(|(pi, gi)| pi * (gi - inner))
+        .collect()
+}
+
+/// Mean of a slice; `0.0` for an empty slice.
+pub fn mean(x: &[f32]) -> f32 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().sum::<f32>() / x.len() as f32
+    }
+}
+
+/// Index of the maximum element; `None` for an empty slice.
+/// Ties resolve to the first maximal index.
+pub fn argmax(x: &[f32]) -> Option<usize> {
+    x.iter()
+        .enumerate()
+        .fold(None, |best, (i, &v)| match best {
+            Some((_, bv)) if bv >= v => best,
+            _ => Some((i, v)),
+        })
+        .map(|(i, _)| i)
+}
+
+/// Indices of the `k` largest elements, in descending order of value.
+///
+/// `O(n log n)`; ties resolve to smaller indices first, which makes
+/// ranking-metric computations deterministic.
+pub fn top_k_indices(x: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..x.len()).collect();
+    idx.sort_by(|&a, &b| {
+        x[b].partial_cmp(&x[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut x = vec![3.0, 4.0];
+        normalize(&mut x);
+        assert!((norm(&x) - 1.0).abs() < 1e-6);
+        assert!((x[0] - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_zero_vector_noop() {
+        let mut x = vec![0.0, 0.0];
+        normalize(&mut x);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn project_ball_only_shrinks() {
+        let mut x = vec![3.0, 4.0];
+        project_to_ball(&mut x, 1.0);
+        assert!((norm(&x) - 1.0).abs() < 1e-6);
+        let mut y = vec![0.1, 0.1];
+        project_to_ball(&mut y, 1.0);
+        assert_eq!(y, vec![0.1, 0.1]);
+    }
+
+    #[test]
+    fn cosine_bounds_and_zero() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_stable_extremes() {
+        assert!(sigmoid(100.0) <= 1.0);
+        assert!(sigmoid(-100.0) >= 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(-100.0) < 1e-20);
+    }
+
+    #[test]
+    fn log_sigmoid_matches_naive_in_safe_range() {
+        for &x in &[-5.0f32, -1.0, 0.0, 1.0, 5.0] {
+            let naive = sigmoid(x).ln();
+            assert!((log_sigmoid(x) - naive).abs() < 1e-5, "x={x}");
+        }
+    }
+
+    #[test]
+    fn softplus_stable() {
+        assert!((softplus(0.0) - 2.0f32.ln()).abs() < 1e-6);
+        assert!((softplus(100.0) - 100.0).abs() < 1e-3);
+        assert!(softplus(-100.0) >= 0.0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_monotone() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        let s: f32 = p.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[1001.0, 1002.0, 1003.0]);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_empty_ok() {
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let z = [0.3f32, -1.2, 0.7, 2.0];
+        // Loss = Σ c_i p_i with arbitrary weights c.
+        let c = [1.0f32, -0.5, 2.0, 0.3];
+        let p = softmax(&z);
+        let grad = softmax_backward(&p, &c);
+        let eps = 1e-3;
+        for i in 0..z.len() {
+            let mut zp = z;
+            zp[i] += eps;
+            let mut zm = z;
+            zm[i] -= eps;
+            let lp: f32 = softmax(&zp).iter().zip(c.iter()).map(|(a, b)| a * b).sum();
+            let lm: f32 = softmax(&zm).iter().zip(c.iter()).map(|(a, b)| a * b).sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((grad[i] - fd).abs() < 1e-3, "i={i} grad={} fd={fd}", grad[i]);
+        }
+    }
+
+    #[test]
+    fn top_k_deterministic_ties() {
+        let idx = top_k_indices(&[1.0, 3.0, 3.0, 2.0], 3);
+        assert_eq!(idx, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn argmax_empty_none() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[1.0, 5.0, 2.0]), Some(1));
+    }
+}

@@ -1,0 +1,172 @@
+//! Item-based k-nearest-neighbor collaborative filtering.
+//!
+//! The memory-based CF technique of survey Section 2.2: item–item cosine
+//! similarity over audiences, scores summed across the user's history.
+//! Only the top `neighbors` similar items per item are retained.
+
+use crate::common::baseline_taxonomy;
+use kgrec_core::{CoreError, Recommender, TrainContext, Taxonomy};
+use kgrec_data::{InteractionMatrix, ItemId, UserId};
+
+/// Item-based KNN recommender.
+#[derive(Debug)]
+pub struct ItemKnn {
+    /// Number of similar items kept per item.
+    pub neighbors: usize,
+    /// `sims[i]` = top-(`neighbors`) `(other_item, cosine)` pairs.
+    sims: Vec<Vec<(u32, f32)>>,
+    train: Option<InteractionMatrix>,
+}
+
+impl ItemKnn {
+    /// Creates an ItemKNN with the given neighborhood size.
+    pub fn new(neighbors: usize) -> Self {
+        Self { neighbors, sims: Vec::new(), train: None }
+    }
+
+    /// Cosine similarity of two item audiences (sorted user lists).
+    fn audience_cosine(a: &[UserId], b: &[UserId]) -> f32 {
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        // Sorted-merge intersection count.
+        let mut i = 0;
+        let mut j = 0;
+        let mut inter = 0usize;
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        inter as f32 / ((a.len() * b.len()) as f32).sqrt()
+    }
+}
+
+impl Recommender for ItemKnn {
+    fn name(&self) -> &'static str {
+        "ItemKNN"
+    }
+
+    fn taxonomy(&self) -> Taxonomy {
+        baseline_taxonomy("ItemKNN")
+    }
+
+    fn fit(&mut self, ctx: &TrainContext<'_>) -> Result<(), CoreError> {
+        let n = ctx.num_items();
+        let train = ctx.train;
+        let mut sims = vec![Vec::new(); n];
+        for i in 0..n {
+            let ai = train.users_of(ItemId(i as u32));
+            if ai.is_empty() {
+                continue;
+            }
+            let mut row: Vec<(u32, f32)> = Vec::new();
+            // Only items sharing at least one user can have nonzero
+            // similarity: enumerate candidates through co-interactions.
+            let mut cands: Vec<u32> = ai
+                .iter()
+                .flat_map(|&u| train.items_of(u).iter().map(|it| it.0))
+                .filter(|&j| j as usize != i)
+                .collect();
+            cands.sort_unstable();
+            cands.dedup();
+            for j in cands {
+                let s = Self::audience_cosine(ai, train.users_of(ItemId(j)));
+                if s > 0.0 {
+                    row.push((j, s));
+                }
+            }
+            row.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            row.truncate(self.neighbors);
+            row.sort_by_key(|&(j, _)| j);
+            sims[i] = row;
+        }
+        self.sims = sims;
+        self.train = Some(train.clone());
+        Ok(())
+    }
+
+    fn score(&self, user: UserId, item: ItemId) -> f32 {
+        let train = self.train.as_ref().expect("ItemKnn: fit before score");
+        let row = &self.sims[item.index()];
+        let mut acc = 0.0f32;
+        for &hist in train.items_of(user) {
+            if let Ok(k) = row.binary_search_by_key(&hist.0, |&(j, _)| j) {
+                acc += row[k].1;
+            }
+        }
+        acc
+    }
+
+    fn num_items(&self) -> usize {
+        self.sims.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgrec_data::interactions::Interaction;
+    use kgrec_data::KgDataset;
+    use kgrec_graph::KgBuilder;
+
+    fn make(users: &[(u32, &[u32])]) -> (KgDataset, InteractionMatrix) {
+        let n_items = 4;
+        let mut b = KgBuilder::new();
+        let ty = b.entity_type("item");
+        let ents: Vec<_> = (0..n_items).map(|i| b.entity(&format!("i{i}"), ty)).collect();
+        let graph = b.build(false);
+        let mut inter = Vec::new();
+        for &(u, items) in users {
+            for &i in items {
+                inter.push(Interaction::implicit(UserId(u), ItemId(i)));
+            }
+        }
+        let train = InteractionMatrix::from_interactions(users.len(), n_items, &inter);
+        (KgDataset::new(train.clone(), graph, ents), train)
+    }
+
+    #[test]
+    fn co_consumed_items_recommended() {
+        // Users 0,1 consume {0,1}; user 2 consumed only 0 -> expect 1.
+        let (ds, train) = make(&[(0, &[0, 1]), (1, &[0, 1]), (2, &[0])]);
+        let mut m = ItemKnn::new(10);
+        m.fit(&TrainContext::new(&ds, &train)).unwrap();
+        let recs = m.recommend(UserId(2), 1, train.items_of(UserId(2)));
+        assert_eq!(recs[0].0, ItemId(1));
+    }
+
+    #[test]
+    fn cosine_known_value() {
+        let a = [UserId(0), UserId(1)];
+        let b = [UserId(1), UserId(2)];
+        let s = ItemKnn::audience_cosine(&a, &b);
+        assert!((s - 0.5).abs() < 1e-6);
+        assert_eq!(ItemKnn::audience_cosine(&a, &[]), 0.0);
+    }
+
+    #[test]
+    fn neighbor_cap_respected() {
+        let (ds, train) =
+            make(&[(0, &[0, 1, 2, 3]), (1, &[0, 1, 2, 3]), (2, &[0, 1, 2, 3])]);
+        let mut m = ItemKnn::new(2);
+        m.fit(&TrainContext::new(&ds, &train)).unwrap();
+        for row in &m.sims {
+            assert!(row.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn cold_item_scores_zero() {
+        let (ds, train) = make(&[(0, &[0]), (1, &[0])]);
+        let mut m = ItemKnn::new(5);
+        m.fit(&TrainContext::new(&ds, &train)).unwrap();
+        assert_eq!(m.score(UserId(0), ItemId(3)), 0.0);
+    }
+}

@@ -1,0 +1,9 @@
+//! KG-free baselines the surveyed papers compare against.
+
+mod bprmf;
+mod itemknn;
+mod mostpop;
+
+pub use bprmf::BprMf;
+pub use itemknn::ItemKnn;
+pub use mostpop::MostPop;

@@ -1,0 +1,264 @@
+//! Generic KGE-backend recommender — the §6 "Knowledge Graph Embedding
+//! Method" research direction made executable.
+//!
+//! The survey notes that *"there is no comprehensive work to suggest
+//! under which circumstances … a specific KGE method should be adopted"*.
+//! This model makes the comparison one line of code: it is CFKG's
+//! knowledge-graph-completion formulation (`score = plausibility of
+//! ⟨user, interact, item⟩` over the user–item graph) parameterized by the
+//! KGE backend — any of the five algorithms of `kgrec-kge`. The
+//! `ablation` harness sweeps the backends on identical data.
+
+use crate::common::taxonomy_of;
+use kgrec_core::taxonomy::Taxonomy;
+use kgrec_core::{CoreError, Recommender, TrainContext};
+use kgrec_data::dataset::UserItemGraph;
+use kgrec_data::{ItemId, UserId};
+use kgrec_kge::{train, DistMult, KgeModel, TrainConfig, TransD, TransE, TransH, TransR};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The KGE algorithm used as scoring backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KgeBackend {
+    /// Translation in one space.
+    TransE,
+    /// Translation on relation hyperplanes.
+    TransH,
+    /// Translation with relation-specific projection matrices.
+    TransR,
+    /// Translation with dynamic mapping vectors.
+    TransD,
+    /// Diagonal bilinear semantic matching.
+    DistMult,
+}
+
+impl KgeBackend {
+    /// All backends, for sweeps.
+    pub fn all() -> [KgeBackend; 5] {
+        [
+            KgeBackend::TransE,
+            KgeBackend::TransH,
+            KgeBackend::TransR,
+            KgeBackend::TransD,
+            KgeBackend::DistMult,
+        ]
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            KgeBackend::TransE => "TransE",
+            KgeBackend::TransH => "TransH",
+            KgeBackend::TransR => "TransR",
+            KgeBackend::TransD => "TransD",
+            KgeBackend::DistMult => "DistMult",
+        }
+    }
+}
+
+/// Hyper-parameters of the generic KGE recommender.
+#[derive(Debug, Clone)]
+pub struct KgeRecommenderConfig {
+    /// Backend algorithm.
+    pub backend: KgeBackend,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Margin (translation backends).
+    pub margin: f32,
+    /// Epochs over the user–item graph's edges.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KgeRecommenderConfig {
+    fn default() -> Self {
+        Self {
+            backend: KgeBackend::TransE,
+            dim: 16,
+            margin: 1.0,
+            epochs: 25,
+            learning_rate: 0.05,
+            seed: 103,
+        }
+    }
+}
+
+/// Recommendation as knowledge-graph completion with a pluggable KGE
+/// backend. With [`KgeBackend::TransE`] this is exactly CFKG.
+pub struct KgeRecommender {
+    /// Hyper-parameters.
+    pub config: KgeRecommenderConfig,
+    state: Option<(Box<dyn KgeModel + Send>, UserItemGraph)>,
+}
+
+impl std::fmt::Debug for KgeRecommender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KgeRecommender")
+            .field("config", &self.config)
+            .field("fitted", &self.state.is_some())
+            .finish()
+    }
+}
+
+impl KgeRecommender {
+    /// Creates an unfitted model.
+    pub fn new(config: KgeRecommenderConfig) -> Self {
+        Self { config, state: None }
+    }
+
+    /// Creates a model with the given backend and default remaining
+    /// hyper-parameters.
+    pub fn with_backend(backend: KgeBackend) -> Self {
+        Self::new(KgeRecommenderConfig { backend, ..Default::default() })
+    }
+
+    /// The backend label (e.g. for ablation tables).
+    pub fn backend_label(&self) -> &'static str {
+        self.config.backend.label()
+    }
+}
+
+impl Recommender for KgeRecommender {
+    fn name(&self) -> &'static str {
+        "KGE-Rec"
+    }
+
+    fn taxonomy(&self) -> Taxonomy {
+        // The formulation is CFKG's; the backend is a hyper-parameter.
+        taxonomy_of("CFKG")
+    }
+
+    fn fit(&mut self, ctx: &TrainContext<'_>) -> Result<(), CoreError> {
+        let uig = ctx.dataset.user_item_graph(ctx.train);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let n = uig.graph.num_entities();
+        let r = uig.graph.num_relations().max(1);
+        let dim = self.config.dim;
+        let margin = self.config.margin;
+        let mut model: Box<dyn KgeModel + Send> = match self.config.backend {
+            KgeBackend::TransE => Box::new(TransE::new(&mut rng, n, r, dim, margin)),
+            KgeBackend::TransH => Box::new(TransH::new(&mut rng, n, r, dim, margin)),
+            KgeBackend::TransR => Box::new(TransR::new(&mut rng, n, r, dim, dim, margin)),
+            KgeBackend::TransD => Box::new(TransD::new(&mut rng, n, r, dim, margin)),
+            KgeBackend::DistMult => Box::new(DistMult::new(&mut rng, n, r, dim)),
+        };
+        // The generic trainer is monomorphic; drive it through a shim.
+        struct Shim<'a>(&'a mut (dyn KgeModel + Send));
+        impl KgeModel for Shim<'_> {
+            fn dim(&self) -> usize {
+                self.0.dim()
+            }
+            fn num_entities(&self) -> usize {
+                self.0.num_entities()
+            }
+            fn num_relations(&self) -> usize {
+                self.0.num_relations()
+            }
+            fn score(
+                &self,
+                h: kgrec_graph::EntityId,
+                r: kgrec_graph::RelationId,
+                t: kgrec_graph::EntityId,
+            ) -> f32 {
+                self.0.score(h, r, t)
+            }
+            fn entity_embedding(&self, e: kgrec_graph::EntityId) -> &[f32] {
+                self.0.entity_embedding(e)
+            }
+            fn relation_embedding(&self, r: kgrec_graph::RelationId) -> &[f32] {
+                self.0.relation_embedding(r)
+            }
+            fn train_pair(
+                &mut self,
+                pos: kgrec_graph::Triple,
+                neg: kgrec_graph::Triple,
+                lr: f32,
+            ) -> f32 {
+                self.0.train_pair(pos, neg, lr)
+            }
+            fn post_epoch(&mut self) {
+                self.0.post_epoch()
+            }
+            fn name(&self) -> &'static str {
+                self.0.name()
+            }
+        }
+        {
+            let mut shim = Shim(model.as_mut());
+            // TransR's per-relation projection matrices amplify the
+            // effective step size (the gradient is second-order in the
+            // parameters); a measured lr sweep shows it diverges at the
+            // rate the vector-translation models train well at, so it
+            // gets a quarter of the configured rate.
+            let lr = match self.config.backend {
+                KgeBackend::TransR => self.config.learning_rate / 4.0,
+                _ => self.config.learning_rate,
+            };
+            train(
+                &mut shim,
+                &uig.graph,
+                &TrainConfig {
+                    epochs: self.config.epochs,
+                    learning_rate: lr,
+                    seed: self.config.seed.wrapping_add(1),
+                },
+            );
+        }
+        self.state = Some((model, uig));
+        Ok(())
+    }
+
+    fn score(&self, user: UserId, item: ItemId) -> f32 {
+        let (model, uig) = self.state.as_ref().expect("KgeRecommender: fit before score");
+        model.score(
+            uig.user_entities[user.index()],
+            uig.interact,
+            uig.item_entities[item.index()],
+        )
+    }
+
+    fn num_items(&self) -> usize {
+        self.state.as_ref().map_or(0, |(_, uig)| uig.item_entities.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgrec_core::protocol::evaluate_ctr;
+    use kgrec_data::negative::labeled_eval_set;
+    use kgrec_data::split::ratio_split;
+    use kgrec_data::synth::{generate, ScenarioConfig};
+
+    #[test]
+    fn every_backend_beats_chance() {
+        let synth = generate(&ScenarioConfig::tiny(), 42);
+        let split = ratio_split(&synth.dataset.interactions, 0.2, 1);
+        let ctx = TrainContext::new(&synth.dataset, &split.train);
+        let mut rng = StdRng::seed_from_u64(5);
+        let pairs = labeled_eval_set(&split.train, &split.test, 4, &mut rng);
+        for backend in KgeBackend::all() {
+            let mut m = KgeRecommender::with_backend(backend);
+            m.fit(&ctx).unwrap();
+            let auc = evaluate_ctr(&m, &pairs).auc;
+            assert!(auc > 0.55, "{}: AUC {auc}", backend.label());
+        }
+    }
+
+    #[test]
+    fn transe_backend_matches_cfkg_formulation() {
+        // Same formulation, same default dims — scores should correlate
+        // in sign structure (both rank history-consistent items high).
+        let synth = generate(&ScenarioConfig::tiny(), 9);
+        let split = ratio_split(&synth.dataset.interactions, 0.2, 1);
+        let ctx = TrainContext::new(&synth.dataset, &split.train);
+        let mut m = KgeRecommender::with_backend(KgeBackend::TransE);
+        m.fit(&ctx).unwrap();
+        assert_eq!(m.backend_label(), "TransE");
+        assert!(m.score(UserId(0), ItemId(0)).is_finite());
+    }
+}

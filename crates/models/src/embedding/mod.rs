@@ -1,0 +1,22 @@
+//! Embedding-based methods (survey Section 4.1): KGE-derived
+//! representations enrich the user/item latent vectors.
+
+mod cfkg;
+mod cke;
+mod dkn;
+mod entity2rec;
+mod kge_rec;
+mod ktup;
+mod mkr;
+mod rcf;
+mod shine;
+
+pub use cfkg::{Cfkg, CfkgConfig};
+pub use cke::{Cke, CkeConfig};
+pub use dkn::{DknConfig, DknLite};
+pub use entity2rec::{Entity2Rec, Entity2RecConfig};
+pub use kge_rec::{KgeBackend, KgeRecommender, KgeRecommenderConfig};
+pub use ktup::{Ktup, KtupConfig};
+pub use mkr::{Mkr, MkrConfig};
+pub use rcf::{Rcf, RcfConfig};
+pub use shine::{Shine, ShineConfig};

@@ -1,0 +1,25 @@
+//! Path-based methods (survey Section 4.2): connectivity patterns in the
+//! user–item graph drive recommendation.
+
+mod fmg;
+mod herec;
+mod hete_cf;
+mod hete_mf;
+mod heterec;
+mod mcrec;
+mod pgpr;
+mod proppr;
+mod rkge;
+mod semrec;
+pub mod util;
+
+pub use fmg::{FmgLite, FmgLiteConfig};
+pub use herec::{HeRec, HeRecConfig};
+pub use hete_cf::{HeteCf, HeteCfConfig};
+pub use hete_mf::{HeteMf, HeteMfConfig};
+pub use heterec::{HeteRec, HeteRecConfig, HeteRecP};
+pub use mcrec::{McRecLite, McRecLiteConfig};
+pub use pgpr::{PgprLite, PgprLiteConfig};
+pub use proppr::{ProPpr, ProPprConfig};
+pub use rkge::{Rkge, RkgeConfig};
+pub use semrec::{SemRec, SemRecConfig};

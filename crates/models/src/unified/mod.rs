@@ -1,0 +1,12 @@
+//! Unified methods (survey Section 4.3): embedding propagation combining
+//! semantic representations with connectivity.
+
+mod akupm;
+mod kgat;
+mod kgcn;
+mod ripplenet;
+
+pub use akupm::{AkupmLite, AkupmLiteConfig};
+pub use kgat::{Kgat, KgatConfig};
+pub use kgcn::{Aggregator, Kgcn, KgcnConfig};
+pub use ripplenet::{RippleNet, RippleNetConfig};

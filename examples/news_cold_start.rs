@@ -1,0 +1,53 @@
+//! News recommendation under sparsity — the DKN scenario (survey §5,
+//! "News"): titles are token lists, entities are linked via a `mentions`
+//! relation, and knowledge-aware DKN is compared against popularity and
+//! BPR on a sparse click log.
+//!
+//! ```bash
+//! cargo run --release -p kgrec-bench --example news_cold_start
+//! ```
+
+use kgrec_core::protocol::evaluate_ctr;
+use kgrec_core::{Recommender, TrainContext};
+use kgrec_data::negative::labeled_eval_set;
+use kgrec_data::split::ratio_split;
+use kgrec_data::synth::{generate, ScenarioConfig};
+use kgrec_models::baselines::{BprMf, MostPop};
+use kgrec_models::embedding::{DknConfig, DknLite};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Sparse news clicks: quarter of the normal click volume.
+    let mut cfg = ScenarioConfig::bing_news_like();
+    cfg.num_users = 120;
+    cfg.num_items = 300;
+    cfg = cfg.with_sparsity_factor(0.4);
+    let synth = generate(&cfg, 5);
+    let data = &synth.dataset;
+    println!(
+        "news corpus: {} articles with {}-token titles, vocab {}, {} clicks",
+        data.interactions.num_items(),
+        data.item_words.as_ref().map(|w| w[0].len()).unwrap_or(0),
+        data.vocab_size,
+        data.interactions.num_interactions()
+    );
+    let split = ratio_split(&data.interactions, 0.2, 1);
+    let ctx = TrainContext::new(data, &split.train);
+    let mut rng = StdRng::seed_from_u64(9);
+    let pairs = labeled_eval_set(&split.train, &split.test, 4, &mut rng);
+
+    let mut pop = MostPop::new();
+    pop.fit(&ctx).unwrap();
+    let mut bpr = BprMf::default_config();
+    bpr.fit(&ctx).unwrap();
+    let mut dkn = DknLite::new(DknConfig { epochs: 12, ..Default::default() });
+    dkn.fit(&ctx).unwrap();
+
+    for model in [&pop as &dyn Recommender, &bpr, &dkn] {
+        let ctr = evaluate_ctr(model, &pairs);
+        println!("{:<10} AUC {:.4}  ACC {:.4}", model.name(), ctr.auc, ctr.accuracy);
+    }
+    println!("\nDKN reads both the title tokens and the KG entity channel — on sparse");
+    println!("clicks the knowledge channel is what lifts it above pure CF (survey §5).");
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the data layer: interaction matrices, splits,
+//! negative sampling, and the synthetic generator's contracts.
+
+use kgrec_data::interactions::{Interaction, InteractionMatrix};
+use kgrec_data::negative::sample_negative;
+use kgrec_data::split::{leave_one_out, ratio_split};
+use kgrec_data::synth::{generate, ScenarioConfig};
+use kgrec_data::{ItemId, UserId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_interactions() -> impl Strategy<Value = (usize, usize, Vec<(u8, u8)>)> {
+    (2usize..10, 2usize..12).prop_flat_map(|(m, n)| {
+        let pairs = prop::collection::vec((0..m as u8, 0..n as u8), 0..60);
+        (Just(m), Just(n), pairs)
+    })
+}
+
+fn matrix(m: usize, n: usize, pairs: &[(u8, u8)]) -> InteractionMatrix {
+    let inter: Vec<Interaction> = pairs
+        .iter()
+        .map(|&(u, i)| Interaction::implicit(UserId(u as u32), ItemId(i as u32)))
+        .collect();
+    InteractionMatrix::from_interactions(m, n, &inter)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn matrix_round_trips_both_directions((m, n, pairs) in arb_interactions()) {
+        let mat = matrix(m, n, &pairs);
+        // User-major and item-major views agree.
+        for u in 0..m {
+            for &i in mat.items_of(UserId(u as u32)) {
+                prop_assert!(mat.users_of(i).contains(&UserId(u as u32)));
+            }
+        }
+        for i in 0..n {
+            for &u in mat.users_of(ItemId(i as u32)) {
+                prop_assert!(mat.items_of(u).contains(&ItemId(i as u32)));
+            }
+        }
+        // Degrees sum to interactions, both ways.
+        let by_user: usize = (0..m).map(|u| mat.user_degree(UserId(u as u32))).sum();
+        let by_item: usize = (0..n).map(|i| mat.item_degree(ItemId(i as u32))).sum();
+        prop_assert_eq!(by_user, mat.num_interactions());
+        prop_assert_eq!(by_item, mat.num_interactions());
+    }
+
+    #[test]
+    fn ratio_split_is_partition((m, n, pairs) in arb_interactions(), frac in 0.1f64..0.9, seed in 0u64..100) {
+        let mat = matrix(m, n, &pairs);
+        let split = ratio_split(&mat, frac, seed);
+        prop_assert_eq!(
+            split.train.num_interactions() + split.test.num_interactions(),
+            mat.num_interactions()
+        );
+        for (u, i, _) in split.test.iter() {
+            prop_assert!(mat.contains(u, i));
+            prop_assert!(!split.train.contains(u, i));
+        }
+        // Every user with history keeps at least one train interaction.
+        for u in 0..m {
+            let user = UserId(u as u32);
+            if mat.user_degree(user) > 0 {
+                prop_assert!(split.train.user_degree(user) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn leave_one_out_structure((m, n, pairs) in arb_interactions(), seed in 0u64..100) {
+        let mat = matrix(m, n, &pairs);
+        let split = leave_one_out(&mat, seed);
+        for u in 0..m {
+            let user = UserId(u as u32);
+            let deg = mat.user_degree(user);
+            if deg >= 2 {
+                prop_assert_eq!(split.test.user_degree(user), 1);
+                prop_assert_eq!(split.train.user_degree(user), deg - 1);
+            } else {
+                prop_assert_eq!(split.test.user_degree(user), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn negative_samples_never_observed((m, n, pairs) in arb_interactions(), seed in 0u64..100) {
+        let mat = matrix(m, n, &pairs);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for u in 0..m {
+            let user = UserId(u as u32);
+            match sample_negative(&mat, user, &mut rng) {
+                Some(item) => prop_assert!(!mat.contains(user, item)),
+                None => prop_assert_eq!(mat.user_degree(user), n),
+            }
+        }
+    }
+
+    #[test]
+    fn generator_contracts_hold(seed in 0u64..40) {
+        let cfg = ScenarioConfig::tiny();
+        let synth = generate(&cfg, seed);
+        let data = &synth.dataset;
+        // Every user has at least one interaction.
+        for u in 0..cfg.num_users {
+            prop_assert!(data.interactions.user_degree(UserId(u as u32)) >= 1);
+        }
+        // Alignment is a bijection onto "item" entities.
+        let mut seen = std::collections::BTreeSet::new();
+        for e in &data.item_entities {
+            prop_assert!(e.index() < data.graph.num_entities());
+            prop_assert!(seen.insert(e.index()), "duplicate alignment");
+        }
+        // Planted ground truth is structurally valid.
+        prop_assert_eq!(synth.item_topics.len(), cfg.num_items);
+        for w in &synth.user_topic_weights {
+            let s: f32 = w.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+}

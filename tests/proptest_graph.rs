@@ -1,0 +1,145 @@
+//! Property-based tests for the graph substrate: CSR invariants, path
+//! enumeration, PathSim bounds, ripple-set structure — on randomly
+//! generated graphs.
+
+use kgrec_graph::paths::enumerate_paths;
+use kgrec_graph::pathsim::pathsim_matrix;
+use kgrec_graph::ripple::{relevant_entities, ripple_sets};
+use kgrec_graph::{EntityId, KgBuilder, KnowledgeGraph, MetaPath, RelationId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random graph as (num_entities, edge list).
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u8, u8, u8)>)> {
+    (2usize..12).prop_flat_map(|n| {
+        let edges = prop::collection::vec(
+            (0..n as u8, 0u8..3, 0..n as u8),
+            0..40,
+        );
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u8, u8, u8)], inverse: bool) -> KnowledgeGraph {
+    let mut b = KgBuilder::new();
+    let ty = b.entity_type("t");
+    let ents: Vec<EntityId> = (0..n).map(|i| b.entity(&format!("e{i}"), ty)).collect();
+    for r in 0..3 {
+        b.relation(&format!("r{r}"));
+    }
+    for &(h, r, t) in edges {
+        b.triple(ents[h as usize], RelationId(r as u32), ents[t as usize]);
+    }
+    b.build(inverse)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_neighbors_sorted_and_complete((n, edges) in arb_graph()) {
+        let g = build(n, &edges, false);
+        // Triple count equals deduped edge count.
+        let mut dedup = edges.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(g.num_triples(), dedup.len());
+        // Per-entity adjacency is sorted, and contains() agrees with the
+        // triple list.
+        for e in 0..n as u32 {
+            let slice = g.edge_slice(EntityId(e));
+            prop_assert!(slice.windows(2).all(|w| w[0] <= w[1]));
+        }
+        for t in g.triples() {
+            prop_assert!(g.contains(t.head, t.rel, t.tail));
+        }
+    }
+
+    #[test]
+    fn inverse_build_doubles_triples((n, edges) in arb_graph()) {
+        let g = build(n, &edges, false);
+        let gi = build(n, &edges, true);
+        prop_assert_eq!(gi.num_triples(), 2 * g.num_triples());
+        // Every edge is mirrored.
+        for t in g.triples() {
+            let inv = RelationId(t.rel.0 + 3);
+            prop_assert!(gi.contains(t.tail, inv, t.head));
+        }
+    }
+
+    #[test]
+    fn enumerated_paths_are_valid_simple_paths((n, edges) in arb_graph()) {
+        let g = build(n, &edges, false);
+        let src = EntityId(0);
+        let dst = EntityId((n - 1) as u32);
+        for p in enumerate_paths(&g, src, dst, 4, 20) {
+            prop_assert_eq!(p.source(), src);
+            prop_assert_eq!(p.target(), dst);
+            // Every hop is a real edge.
+            for i in 0..p.len() {
+                prop_assert!(g.contains(p.entities[i], p.relations[i], p.entities[i + 1]));
+            }
+            // Simple: no entity repeats.
+            let mut ents = p.entities.clone();
+            ents.sort();
+            let before = ents.len();
+            ents.dedup();
+            prop_assert_eq!(ents.len(), before);
+        }
+    }
+
+    #[test]
+    fn pathsim_symmetric_bounded((n, edges) in arb_graph()) {
+        let g = build(n, &edges, true);
+        let all: Vec<EntityId> = (0..n as u32).map(EntityId).collect();
+        let mp = MetaPath::new(vec![RelationId(0), RelationId(3)]); // r0, r0_inv
+        let m = pathsim_matrix(&g, &all, &mp);
+        for i in 0..n {
+            for j in 0..n {
+                let s = m.get(i, j);
+                prop_assert!((0.0..=1.0 + 1e-5).contains(&s), "s={}", s);
+                prop_assert!((s - m.get(j, i)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_sets_respect_caps_and_heads(
+        (n, edges) in arb_graph(),
+        cap in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let g = build(n, &edges, false);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rs = ripple_sets(&g, &[EntityId(0)], 3, cap, false, &mut rng);
+        prop_assert_eq!(rs.num_hops(), 3);
+        for k in 0..3 {
+            prop_assert!(rs.hop(k).len() <= cap.max(g.num_triples()));
+            if k == 0 {
+                for t in rs.hop(0) {
+                    prop_assert_eq!(t.head, EntityId(0));
+                }
+            }
+            // Every triple in every hop is a real fact.
+            for t in rs.hop(k) {
+                prop_assert!(g.contains(t.head, t.rel, t.tail));
+            }
+        }
+    }
+
+    #[test]
+    fn relevant_entities_monotone_under_subset((n, edges) in arb_graph()) {
+        let g = build(n, &edges, false);
+        // E^k of a subset of seeds is a subset of E^k of all seeds.
+        let all_seeds: Vec<EntityId> = (0..n as u32).map(EntityId).collect();
+        let some_seeds = vec![EntityId(0)];
+        let big = relevant_entities(&g, &all_seeds, 2);
+        let small = relevant_entities(&g, &some_seeds, 2);
+        for k in 0..=2 {
+            for e in &small[k] {
+                prop_assert!(big[k].contains(e));
+            }
+        }
+    }
+}

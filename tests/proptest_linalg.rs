@@ -1,0 +1,125 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use kgrec_linalg::rnn::RnnCell;
+use kgrec_linalg::{vector, Matrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_vec(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn softmax_is_distribution(xs in prop::collection::vec(-50.0f32..50.0, 1..20)) {
+        let p = vector::softmax(&xs);
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4, "sum={}", sum);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn softmax_shift_invariant(xs in prop::collection::vec(-20.0f32..20.0, 1..10), c in -50.0f32..50.0) {
+        let a = vector::softmax(&xs);
+        let shifted: Vec<f32> = xs.iter().map(|x| x + c).collect();
+        let b = vector::softmax(&shifted);
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn dot_is_bilinear(a in arb_vec(6), b in arb_vec(6), c in arb_vec(6), s in -5.0f32..5.0) {
+        // dot(a + s·b, c) = dot(a, c) + s·dot(b, c)
+        let lhs_vec: Vec<f32> = a.iter().zip(b.iter()).map(|(x, y)| x + s * y).collect();
+        let lhs = vector::dot(&lhs_vec, &c);
+        let rhs = vector::dot(&a, &c) + s * vector::dot(&b, &c);
+        prop_assert!((lhs - rhs).abs() < 1e-2, "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn normalize_produces_unit_or_zero(mut xs in arb_vec(8)) {
+        vector::normalize(&mut xs);
+        let n = vector::norm(&xs);
+        prop_assert!(n == 0.0 || (n - 1.0).abs() < 1e-4, "norm={}", n);
+    }
+
+    #[test]
+    fn project_to_ball_never_grows(xs in arb_vec(8), r in 0.1f32..5.0) {
+        let before = vector::norm(&xs);
+        let mut ys = xs.clone();
+        vector::project_to_ball(&mut ys, r);
+        let after = vector::norm(&ys);
+        prop_assert!(after <= r + 1e-4);
+        prop_assert!(after <= before + 1e-4);
+    }
+
+    #[test]
+    fn matvec_linearity(data in prop::collection::vec(-5.0f32..5.0, 12), x in arb_vec(4), y in arb_vec(4)) {
+        let m = Matrix::from_vec(3, 4, data);
+        let sum: Vec<f32> = x.iter().zip(y.iter()).map(|(a, b)| a + b).collect();
+        let lhs = m.matvec(&sum);
+        let rx = m.matvec(&x);
+        let ry = m.matvec(&y);
+        for i in 0..3 {
+            prop_assert!((lhs[i] - (rx[i] + ry[i])).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn matvec_t_is_adjoint(data in prop::collection::vec(-5.0f32..5.0, 12), x in arb_vec(4), y in arb_vec(3)) {
+        // ⟨A·x, y⟩ = ⟨x, Aᵀ·y⟩
+        let m = Matrix::from_vec(3, 4, data);
+        let lhs = vector::dot(&m.matvec(&x), &y);
+        let rhs = vector::dot(&x, &m.matvec_t(&y));
+        prop_assert!((lhs - rhs).abs() < 1e-1 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn sigmoid_and_log_sigmoid_consistent(x in -30.0f32..30.0) {
+        let s = vector::sigmoid(x);
+        prop_assert!((0.0..=1.0).contains(&s));
+        // σ(x) + σ(−x) = 1
+        prop_assert!((s + vector::sigmoid(-x) - 1.0).abs() < 1e-5);
+        // log σ(x) ≤ 0
+        prop_assert!(vector::log_sigmoid(x) <= 1e-7);
+    }
+
+    #[test]
+    fn rnn_bptt_matches_finite_difference(seed in 0u64..500, len in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cell = RnnCell::new(&mut rng, 2, 3);
+        let seq: Vec<Vec<f32>> = (0..len)
+            .map(|i| vec![((seed + i as u64) % 7) as f32 * 0.1 - 0.3, 0.2])
+            .collect();
+        let trace = cell.forward(&seq);
+        let dl = vec![1.0f32; 3];
+        let dinputs = cell.backward(&trace, &dl);
+        let eps = 1e-3;
+        for t in 0..seq.len() {
+            for i in 0..2 {
+                let mut sp = seq.clone();
+                sp[t][i] += eps;
+                let mut sm = seq.clone();
+                sm[t][i] -= eps;
+                let lp: f32 = cell.forward(&sp).final_hidden().iter().sum();
+                let lm: f32 = cell.forward(&sm).final_hidden().iter().sum();
+                let fd = (lp - lm) / (2.0 * eps);
+                prop_assert!((dinputs[t][i] - fd).abs() < 2e-2,
+                    "t={} i={} an={} fd={}", t, i, dinputs[t][i], fd);
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_indices_sorted_by_value(xs in prop::collection::vec(-100.0f32..100.0, 1..30), k in 1usize..10) {
+        let idx = vector::top_k_indices(&xs, k);
+        prop_assert_eq!(idx.len(), k.min(xs.len()));
+        for w in idx.windows(2) {
+            prop_assert!(xs[w[0]] >= xs[w[1]]);
+        }
+    }
+}

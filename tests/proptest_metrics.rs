@@ -1,0 +1,119 @@
+//! Property-based tests for the evaluation metrics.
+
+use kgrec_core::metrics::{
+    auc, hit_rate_at_k, mrr, ndcg_at_k, precision_at_k, recall_at_k,
+};
+use proptest::prelude::*;
+
+fn arb_scored() -> impl Strategy<Value = Vec<(f32, bool)>> {
+    prop::collection::vec(((-10.0f32..10.0), any::<bool>()), 2..50)
+}
+
+fn arb_ranking() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    (2u32..40).prop_flat_map(|n| {
+        let ranked = Just((0..n).collect::<Vec<u32>>()).prop_shuffle();
+        let relevant = prop::collection::btree_set(0..n, 0..(n as usize).min(10))
+            .prop_map(|s| s.into_iter().collect::<Vec<u32>>());
+        (ranked, relevant)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn auc_in_unit_interval(data in arb_scored()) {
+        if let Some(a) = auc(&data) {
+            prop_assert!((0.0..=1.0).contains(&a), "auc={}", a);
+        }
+    }
+
+    #[test]
+    fn auc_label_flip_antisymmetry(mut data in arb_scored()) {
+        // Make scores unique to avoid ties.
+        for (i, d) in data.iter_mut().enumerate() {
+            d.0 += i as f32 * 1e-3;
+        }
+        let a = auc(&data);
+        let flipped: Vec<(f32, bool)> = data.iter().map(|&(s, l)| (s, !l)).collect();
+        let b = auc(&flipped);
+        if let (Some(a), Some(b)) = (a, b) {
+            prop_assert!((a + b - 1.0).abs() < 1e-6, "a={} b={}", a, b);
+        }
+    }
+
+    #[test]
+    fn auc_score_shift_invariant(data in arb_scored(), c in -5.0f32..5.0) {
+        let shifted: Vec<(f32, bool)> = data.iter().map(|&(s, l)| (s + c, l)).collect();
+        prop_assert_eq!(auc(&data), auc(&shifted));
+    }
+
+    #[test]
+    fn ranking_metrics_in_unit_interval((ranked, relevant) in arb_ranking(), k in 1usize..20) {
+        for m in [
+            precision_at_k(&ranked, &relevant, k),
+            recall_at_k(&ranked, &relevant, k),
+            ndcg_at_k(&ranked, &relevant, k),
+            hit_rate_at_k(&ranked, &relevant, k),
+            mrr(&ranked, &relevant),
+        ] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&m), "metric={}", m);
+        }
+    }
+
+    #[test]
+    fn recall_monotone_in_k((ranked, relevant) in arb_ranking()) {
+        let mut prev = 0.0;
+        for k in 1..=ranked.len() {
+            let r = recall_at_k(&ranked, &relevant, k);
+            prop_assert!(r + 1e-9 >= prev, "recall decreased at k={}", k);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn hit_rate_monotone_in_k((ranked, relevant) in arb_ranking()) {
+        let mut prev = 0.0;
+        for k in 1..=ranked.len() {
+            let h = hit_rate_at_k(&ranked, &relevant, k);
+            prop_assert!(h >= prev);
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn full_list_recall_is_total((ranked, relevant) in arb_ranking()) {
+        // Ranking is a permutation of all items, so recall@n = 1 whenever
+        // the relevance set is nonempty.
+        if !relevant.is_empty() {
+            let r = recall_at_k(&ranked, &relevant, ranked.len());
+            prop_assert!((r - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn perfect_ranking_maximizes_ndcg((_, relevant) in arb_ranking(), n in 10u32..40) {
+        if relevant.is_empty() || relevant.iter().any(|&r| r >= n) {
+            return Ok(());
+        }
+        // Put all relevant items first.
+        let mut ranked: Vec<u32> = relevant.clone();
+        for i in 0..n {
+            if !relevant.contains(&i) {
+                ranked.push(i);
+            }
+        }
+        let perfect = ndcg_at_k(&ranked, &relevant, ranked.len());
+        prop_assert!((perfect - 1.0).abs() < 1e-9, "ndcg={}", perfect);
+    }
+
+    #[test]
+    fn mrr_equals_one_iff_first_is_relevant((ranked, relevant) in arb_ranking()) {
+        let m = mrr(&ranked, &relevant);
+        if relevant.contains(&ranked[0]) {
+            prop_assert!((m - 1.0).abs() < 1e-9);
+        } else {
+            prop_assert!(m < 1.0);
+        }
+    }
+}
