@@ -26,7 +26,7 @@ fn bench_graph(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(1);
             ripple_sets(graph, &seeds, 2, 16, true, &mut rng)
-        })
+        });
     });
 
     let mp = MetaPath::new(vec![
@@ -36,14 +36,14 @@ fn bench_graph(c: &mut Criterion) {
             .expect("inverse exists"),
     ]);
     c.bench_function("pathsim_matrix_500_items", |b| {
-        b.iter(|| pathsim_matrix(graph, &data.item_entities, &mp))
+        b.iter(|| pathsim_matrix(graph, &data.item_entities, &mp));
     });
 
     c.bench_function("receptive_field_k4_h2", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(2);
             receptive_field(graph, data.item_entities[0], 4, 2, &mut rng)
-        })
+        });
     });
 
     let uig = data.user_item_graph(&data.interactions);
@@ -56,7 +56,7 @@ fn bench_graph(c: &mut Criterion) {
                 3,
                 32,
             )
-        })
+        });
     });
 }
 

@@ -21,35 +21,35 @@ fn bench_kge(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(1);
             let mut m = TransE::new(&mut rng, n, r, dim, 1.0);
             train(&mut m, &graph, &cfg)
-        })
+        });
     });
     group.bench_function(BenchmarkId::new("TransH", dim), |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(1);
             let mut m = TransH::new(&mut rng, n, r, dim, 1.0);
             train(&mut m, &graph, &cfg)
-        })
+        });
     });
     group.bench_function(BenchmarkId::new("TransR", dim), |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(1);
             let mut m = TransR::new(&mut rng, n, r, dim, dim, 1.0);
             train(&mut m, &graph, &cfg)
-        })
+        });
     });
     group.bench_function(BenchmarkId::new("TransD", dim), |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(1);
             let mut m = TransD::new(&mut rng, n, r, dim, 1.0);
             train(&mut m, &graph, &cfg)
-        })
+        });
     });
     group.bench_function(BenchmarkId::new("DistMult", dim), |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(1);
             let mut m = DistMult::new(&mut rng, n, r, dim);
             train(&mut m, &graph, &cfg)
-        })
+        });
     });
     group.finish();
 }

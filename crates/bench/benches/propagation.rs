@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use kgrec_bench::standard_split;
 use kgrec_core::{Recommender, TrainContext};
 use kgrec_data::synth::{generate, ScenarioConfig};
-use kgrec_models::unified::{AkupmLite, AkupmLiteConfig, Kgcn, KgcnConfig, RippleNet, RippleNetConfig};
+use kgrec_models::unified::{
+    AkupmLite, AkupmLiteConfig, Kgcn, KgcnConfig, RippleNet, RippleNetConfig,
+};
 
 fn bench_propagation(c: &mut Criterion) {
     let synth = generate(&ScenarioConfig::tiny(), 3);
@@ -17,19 +19,20 @@ fn bench_propagation(c: &mut Criterion) {
         b.iter(|| {
             let mut m = RippleNet::new(RippleNetConfig { epochs: 1, ..Default::default() });
             m.fit(&ctx).unwrap();
-        })
+        });
     });
     c.bench_function("fit_epoch_kgcn", |b| {
         b.iter(|| {
             let mut m = Kgcn::new(KgcnConfig { epochs: 1, ..Default::default() });
             m.fit(&ctx).unwrap();
-        })
+        });
     });
     c.bench_function("fit_epoch_akupm", |b| {
         b.iter(|| {
-            let mut m = AkupmLite::new(AkupmLiteConfig { epochs: 1, kge_epochs: 1, ..Default::default() });
+            let mut m =
+                AkupmLite::new(AkupmLiteConfig { epochs: 1, kge_epochs: 1, ..Default::default() });
             m.fit(&ctx).unwrap();
-        })
+        });
     });
 }
 

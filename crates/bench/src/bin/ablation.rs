@@ -12,7 +12,7 @@
 //!
 //! Usage: `cargo run --release -p kgrec-bench --bin ablation [--quick]`
 
-use kgrec_bench::{evaluate_model, print_eval_table, standard_split};
+use kgrec_bench::{evaluate_model, preflight_check, print_eval_table, standard_split};
 use kgrec_data::synth::{generate, ScenarioConfig};
 use kgrec_models::embedding::{KgeBackend, KgeRecommender};
 use kgrec_models::registry::kgcn_aggregator_ablation;
@@ -23,12 +23,12 @@ fn main() {
     let cfg = if quick { ScenarioConfig::tiny() } else { ScenarioConfig::movielens_100k_like() };
     let synth = generate(&cfg, 2024);
     let split = standard_split(&synth, 7);
+    preflight_check(&synth, &split);
 
     // KGCN aggregators.
     let mut rows = Vec::new();
-    for (mut model, label) in kgcn_aggregator_ablation()
-        .into_iter()
-        .zip(["sum", "concat", "neighbor", "bi-interaction"])
+    for (mut model, label) in
+        kgcn_aggregator_ablation().into_iter().zip(["sum", "concat", "neighbor", "bi-interaction"])
     {
         if let Some(mut row) = evaluate_model(model.as_mut(), &synth, &split, 11) {
             row.family = label.to_owned();
@@ -79,6 +79,7 @@ fn main() {
     {
         let synth_s = generate(&scenario, 2024);
         let split_s = standard_split(&synth_s, 7);
+        preflight_check(&synth_s, &split_s);
         let mut m = KgeRecommender::with_backend(KgeBackend::TransE);
         if let Some(mut row) = evaluate_model(&mut m, &synth_s, &split_s, 11) {
             row.family = label.to_owned();

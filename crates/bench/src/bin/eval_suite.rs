@@ -12,7 +12,7 @@
 //!
 //! Usage: `cargo run --release -p kgrec-bench --bin eval_suite [--quick]`
 
-use kgrec_bench::{evaluate_model, print_eval_table, standard_split, EvalRow};
+use kgrec_bench::{evaluate_model, preflight_check, print_eval_table, standard_split, EvalRow};
 use kgrec_data::synth::{generate, ScenarioConfig};
 use kgrec_models::registry::all_models;
 
@@ -36,6 +36,7 @@ fn main() {
     for (cfg, with_text) in &scenarios {
         let synth = generate(cfg, 2024);
         let split = standard_split(&synth, 7);
+        preflight_check(&synth, &split);
         println!(
             "\nscenario {}: {} users, {} items, {} interactions, {} KG triples",
             cfg.name,

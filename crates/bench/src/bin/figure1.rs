@@ -67,9 +67,7 @@ fn main() {
 
     // --- Recommend with a KG-based model ---
     let mut model = Cfkg::default_config();
-    model
-        .fit(&TrainContext::new(&dataset, &interactions))
-        .expect("figure-1 dataset always fits");
+    model.fit(&TrainContext::new(&dataset, &interactions)).expect("figure-1 dataset always fits");
     let bob = UserId(0);
     let recs = model.recommend(bob, 2, interactions.items_of(bob));
     println!("FIGURE 1 — KG-based recommendation for Bob\n");
@@ -78,11 +76,7 @@ fn main() {
     let uig = dataset.user_item_graph(&interactions);
     let explainer = Explainer::new(&uig);
     for (item, score) in &recs {
-        println!(
-            "\n  {} (score {:.3})",
-            uig.graph.entity_name(dataset.entity_of(*item)),
-            score
-        );
+        println!("\n  {} (score {:.3})", uig.graph.entity_name(dataset.entity_of(*item)), score);
         for (i, ex) in explainer.explain(bob, *item).iter().take(3).enumerate() {
             println!("    reason {}: {}", i + 1, ex.text);
         }

@@ -2,11 +2,12 @@
 //! the full 39-method literature table plus the subset implemented in
 //! this repository.
 
-use kgrec_bench::print_text_table;
+use kgrec_bench::{preflight_registry, print_text_table};
 use kgrec_core::taxonomy::{table3, Technique};
 use kgrec_models::registry::all_models;
 
 fn main() {
+    preflight_registry();
     println!("TABLE 3 — Collected papers: usage type and framework techniques\n");
     let implemented: Vec<&'static str> = all_models(true)
         .iter()

@@ -15,11 +15,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use kgrec_check::rules::RegistryConsistency;
+use kgrec_check::{default_model_hyperparams, CheckBundle, CheckReport};
 use kgrec_core::protocol::{evaluate_ctr, evaluate_topk};
 use kgrec_core::{Recommender, TrainContext};
 use kgrec_data::negative::labeled_eval_set;
 use kgrec_data::split::{ratio_split, Split};
-use kgrec_data::synth::SyntheticDataset;
+use kgrec_data::synth::{generate, ScenarioConfig, SyntheticDataset};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -85,6 +87,49 @@ pub fn evaluate_model(
 /// Standard split used across the harness: 20% per-user holdout.
 pub fn standard_split(synth: &SyntheticDataset, seed: u64) -> Split {
     ratio_split(&synth.dataset.interactions, 0.2, seed)
+}
+
+/// Runs the full `kglint` rule set over a scenario bundle in strict mode
+/// (warnings fail) before any training happens.
+///
+/// The harness binaries call this on every scenario; a corrupted bundle
+/// aborts the run instead of producing subtly wrong tables.
+///
+/// # Panics
+/// Panics with the rendered report when the check fails.
+pub fn preflight_check(synth: &SyntheticDataset, split: &Split) {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let pairs = labeled_eval_set(&split.train, &split.test, 4, &mut rng);
+    let bundle = CheckBundle::new(&synth.dataset)
+        .with_split(split)
+        .with_eval_pairs(&pairs)
+        .with_hyperparams(default_model_hyperparams());
+    let report = CheckReport::run(&bundle);
+    if report.fails(true) {
+        panic!(
+            "preflight kglint failed (strict) for scenario {}:\n{}",
+            synth.config.name,
+            report.render()
+        );
+    }
+}
+
+/// Runs the registry/taxonomy consistency rule (`MD001`) in strict mode.
+///
+/// Called by the metadata binaries (`table3`) that render registry
+/// contents without touching a dataset.
+///
+/// # Panics
+/// Panics with the rendered report when the registry is inconsistent.
+pub fn preflight_registry() {
+    // MD001 ignores the bundle, but the runner needs one; tiny generates
+    // in microseconds.
+    let synth = generate(&ScenarioConfig::tiny(), 0);
+    let bundle = CheckBundle::new(&synth.dataset);
+    let report = CheckReport::run_rules(&bundle, &[Box::new(RegistryConsistency)]);
+    if report.fails(true) {
+        panic!("registry consistency check failed:\n{}", report.render());
+    }
 }
 
 /// Prints an evaluation table in a fixed-width layout.

@@ -1,0 +1,130 @@
+//! `kglint` — run the static checks over synthetic scenario bundles.
+//!
+//! ```text
+//! kglint [--scenario NAME]... [--seed N] [--strict] [--max-hops H] [--no-split]
+//! ```
+//!
+//! With no `--scenario` the full synthetic family is checked. Exit code
+//! 0 when clean, 1 when the report fails (errors, or warnings under
+//! `--strict`), 2 on usage errors.
+
+use kgrec_check::{default_model_hyperparams, CheckBundle, CheckReport};
+use kgrec_data::negative::labeled_eval_set;
+use kgrec_data::split::ratio_split;
+use kgrec_data::synth::{generate, ScenarioConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+fn scenario_by_name(name: &str) -> Option<ScenarioConfig> {
+    match name {
+        "tiny" => Some(ScenarioConfig::tiny()),
+        "movielens-100k" => Some(ScenarioConfig::movielens_100k_like()),
+        "movielens-1m" => Some(ScenarioConfig::movielens_1m_like()),
+        "book-crossing" => Some(ScenarioConfig::book_crossing_like()),
+        "lastfm" => Some(ScenarioConfig::lastfm_like()),
+        "amazon" => Some(ScenarioConfig::amazon_product_like()),
+        "yelp" => Some(ScenarioConfig::yelp_like()),
+        "bing-news" => Some(ScenarioConfig::bing_news_like()),
+        "weibo" => Some(ScenarioConfig::weibo_like()),
+        _ => None,
+    }
+}
+
+const ALL_SCENARIOS: &[&str] = &[
+    "tiny",
+    "movielens-100k",
+    "movielens-1m",
+    "book-crossing",
+    "lastfm",
+    "amazon",
+    "yelp",
+    "bing-news",
+    "weibo",
+];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: kglint [--scenario NAME]... [--seed N] [--strict] [--max-hops H] [--no-split]\n\
+         scenarios: {}",
+        ALL_SCENARIOS.join(", ")
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut scenarios: Vec<String> = Vec::new();
+    let mut seed = 2024u64;
+    let mut strict = false;
+    let mut max_hops = 3usize;
+    let mut with_split = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scenario" => match args.next() {
+                Some(name) => scenarios.push(name),
+                None => return usage(),
+            },
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage(),
+            },
+            "--max-hops" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(h) => max_hops = h,
+                None => return usage(),
+            },
+            "--strict" => strict = true,
+            "--no-split" => with_split = false,
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+    if scenarios.is_empty() {
+        scenarios = ALL_SCENARIOS.iter().map(|s| (*s).to_string()).collect();
+    }
+
+    let mut failed = false;
+    for name in &scenarios {
+        let Some(cfg) = scenario_by_name(name) else {
+            eprintln!("kglint: unknown scenario '{name}'");
+            return usage();
+        };
+        let synth = generate(&cfg, seed);
+        let split;
+        let pairs;
+        let mut bundle = CheckBundle::new(&synth.dataset)
+            .with_hyperparams(default_model_hyperparams())
+            .with_max_hops(max_hops);
+        if with_split {
+            split = ratio_split(&synth.dataset.interactions, 0.2, seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            pairs = labeled_eval_set(&split.train, &split.test, 4, &mut rng);
+            bundle = bundle.with_split(&split).with_eval_pairs(&pairs);
+        }
+        let report = CheckReport::run(&bundle);
+        println!(
+            "== {name}: {} users, {} items, {} interactions, {} entities, {} triples ==",
+            synth.dataset.interactions.num_users(),
+            synth.dataset.interactions.num_items(),
+            synth.dataset.interactions.num_interactions(),
+            synth.dataset.graph.num_entities(),
+            synth.dataset.graph.num_triples()
+        );
+        print!("{}", report.render());
+        if report.fails(strict) {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!(
+            "kglint: FAILED ({})",
+            if strict { "errors or warnings in strict mode" } else { "errors" }
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("kglint: all {} scenario(s) clean", scenarios.len());
+    ExitCode::SUCCESS
+}

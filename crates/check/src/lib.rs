@@ -1,0 +1,41 @@
+//! `kgrec-check` — static analysis over `(KG dataset, split, model
+//! config)` bundles, before any training happens.
+//!
+//! Every experiment in this workspace consumes the same three inputs: a
+//! [`kgrec_data::KgDataset`] (interactions + item KG + alignment), a
+//! train/test [`kgrec_data::split::Split`], and model configuration. Each
+//! has invariants that, when violated, do not crash — they silently
+//! corrupt results: leaked test interactions inflate AUC, dangling
+//! entity ids scramble embeddings, duplicate alignments merge item
+//! neighborhoods, a NaN in one embedding row poisons every ranking
+//! containing the item.
+//!
+//! This crate makes those invariants checkable:
+//!
+//! * [`Diagnostic`] — one finding: stable code, [`Severity`], message,
+//!   [`Subject`];
+//! * [`Rule`] — one named check; [`rules::default_rules`] is the standard
+//!   set of thirteen across three layers (KG integrity `KG0xx`,
+//!   dataset/split hygiene `DS0xx`, model/metadata consistency `MD0xx` —
+//!   see [`rules`] for the full table);
+//! * [`CheckBundle`] — what a pass looks at (only the dataset is
+//!   mandatory);
+//! * [`CheckReport`] — the aggregated result, with a strict mode in
+//!   which warnings also fail.
+//!
+//! The `kglint` binary runs the rule set over the synthetic scenario
+//! family from the command line; the `kgrec-bench` harness binaries run
+//! it in strict mode before every evaluation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bundle;
+pub mod diagnostic;
+pub mod report;
+pub mod rules;
+
+pub use bundle::{default_model_hyperparams, CheckBundle, FloatAudit, HyperParam};
+pub use diagnostic::{Diagnostic, Severity, Subject};
+pub use report::CheckReport;
+pub use rules::{default_rules, Rule};

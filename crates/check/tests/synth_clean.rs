@@ -1,0 +1,91 @@
+//! Cleanliness guarantee: every synthetic generator must produce bundles
+//! that pass the full rule set with zero error-severity diagnostics — the
+//! checker and the generators are kept honest against each other.
+
+use kgrec_check::{default_model_hyperparams, CheckBundle, CheckReport, Severity};
+use kgrec_data::negative::labeled_eval_set;
+use kgrec_data::split::ratio_split;
+use kgrec_data::synth::{generate, ScenarioConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// All generators, by name, so failures identify the scenario.
+fn all_scenarios() -> Vec<ScenarioConfig> {
+    vec![
+        ScenarioConfig::tiny(),
+        ScenarioConfig::movielens_100k_like(),
+        ScenarioConfig::movielens_1m_like(),
+        ScenarioConfig::book_crossing_like(),
+        ScenarioConfig::lastfm_like(),
+        ScenarioConfig::amazon_product_like(),
+        ScenarioConfig::yelp_like(),
+        ScenarioConfig::bing_news_like(),
+        ScenarioConfig::weibo_like(),
+    ]
+}
+
+/// Runs the full rule set over a freshly generated scenario with every
+/// optional input attached (split, eval pairs, hyper-parameters), and
+/// asserts zero errors.
+fn assert_error_free(cfg: &ScenarioConfig, seed: u64) {
+    let synth = generate(cfg, seed);
+    let split = ratio_split(&synth.dataset.interactions, 0.2, seed ^ 0x5EED);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0E7A_15E7);
+    let pairs = labeled_eval_set(&split.train, &split.test, 4, &mut rng);
+    let bundle = CheckBundle::new(&synth.dataset)
+        .with_split(&split)
+        .with_eval_pairs(&pairs)
+        .with_hyperparams(default_model_hyperparams());
+    let report = CheckReport::run(&bundle);
+    assert_eq!(
+        report.count(Severity::Error),
+        0,
+        "scenario {} (seed {seed}) produced errors:\n{}",
+        cfg.name,
+        report.render()
+    );
+}
+
+#[test]
+fn every_generator_is_error_free_at_reference_seeds() {
+    for cfg in all_scenarios() {
+        assert_error_free(&cfg, 2024);
+    }
+}
+
+#[test]
+fn sparsified_and_social_variants_are_error_free() {
+    assert_error_free(&ScenarioConfig::tiny().with_sparsity_factor(0.3), 11);
+    assert_error_free(&ScenarioConfig::tiny().with_social_links(4), 11);
+}
+
+proptest! {
+    // Each case generates a full dataset; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generators_are_error_free_on_arbitrary_seeds(
+        which in 0usize..9,
+        seed in any::<u64>(),
+    ) {
+        let cfg = all_scenarios().swap_remove(which);
+        let synth = generate(&cfg, seed);
+        let split = ratio_split(&synth.dataset.interactions, 0.2, seed.rotate_left(17));
+        let mut rng = StdRng::seed_from_u64(seed.rotate_left(31));
+        let pairs = labeled_eval_set(&split.train, &split.test, 4, &mut rng);
+        let bundle = CheckBundle::new(&synth.dataset)
+            .with_split(&split)
+            .with_eval_pairs(&pairs)
+            .with_hyperparams(default_model_hyperparams());
+        let report = CheckReport::run(&bundle);
+        prop_assert_eq!(
+            report.count(Severity::Error),
+            0,
+            "scenario {} (seed {}) produced errors:\n{}",
+            cfg.name,
+            seed,
+            report.render()
+        );
+    }
+}

@@ -52,20 +52,21 @@ impl<'a> Explainer<'a> {
         let source = self.graph.user_entities[user.index()];
         let target = self.graph.item_entities[item.index()];
         let g = &self.graph.graph;
-        let mut out: Vec<Explanation> = enumerate_paths(g, source, target, self.max_hops, self.max_paths)
-            .into_iter()
-            .filter(|p| !(p.len() == 1 && p.relations[0] == self.graph.interact))
-            .map(|p| {
-                // Saliency: prefer short paths through specific entities.
-                let mut degree_penalty = 0.0f64;
-                for &e in &p.entities[1..p.entities.len() - 1] {
-                    degree_penalty += (1.0 + g.degree(e) as f64).ln();
-                }
-                let saliency = 1.0 / (p.len() as f64 + 0.25 * degree_penalty);
-                let text = p.describe(g);
-                Explanation { path: p, text, saliency }
-            })
-            .collect();
+        let mut out: Vec<Explanation> =
+            enumerate_paths(g, source, target, self.max_hops, self.max_paths)
+                .into_iter()
+                .filter(|p| !(p.len() == 1 && p.relations[0] == self.graph.interact))
+                .map(|p| {
+                    // Saliency: prefer short paths through specific entities.
+                    let mut degree_penalty = 0.0f64;
+                    for &e in &p.entities[1..p.entities.len() - 1] {
+                        degree_penalty += (1.0 + g.degree(e) as f64).ln();
+                    }
+                    let saliency = 1.0 / (p.len() as f64 + 0.25 * degree_penalty);
+                    let text = p.describe(g);
+                    Explanation { path: p, text, saliency }
+                })
+                .collect();
         out.sort_by(|a, b| {
             b.saliency.partial_cmp(&a.saliency).unwrap_or(std::cmp::Ordering::Equal)
         });

@@ -23,9 +23,13 @@ pub fn auc(scores_labels: &[(f32, bool)]) -> Option<f64> {
     if pos == 0 || neg == 0 {
         return None;
     }
-    // Rank-based: sum of ranks of positives.
+    // Rank-based: sum of ranks of positives. `total_cmp` keeps the sort a
+    // strict weak ordering even when a model emits NaN scores (they rank
+    // above +inf), so the result stays deterministic instead of depending
+    // on where the NaNs happened to sit in the input. Non-finite scores
+    // are a model bug — `kglint`'s MD004 rule flags them upstream.
     let mut sorted: Vec<(f32, bool)> = scores_labels.to_vec();
-    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
     // Average ranks over tie groups.
     let mut rank_sum_pos = 0.0f64;
     let mut i = 0usize;
@@ -53,48 +57,67 @@ pub fn accuracy(scores_labels: &[(f32, bool)], threshold: f32) -> Option<f64> {
     if scores_labels.is_empty() {
         return None;
     }
-    let correct = scores_labels
-        .iter()
-        .filter(|(s, l)| (*s >= threshold) == *l)
-        .count();
+    let correct = scores_labels.iter().filter(|(s, l)| (*s >= threshold) == *l).count();
     Some(correct as f64 / scores_labels.len() as f64)
+}
+
+/// Membership test for the relevance set.
+///
+/// All top-K metrics take `relevant` as a **sorted** slice (ascending item
+/// id) so each lookup is a binary search instead of a linear scan — the
+/// evaluation protocol feeds `InteractionMatrix::items_of`, whose CSR rows
+/// are sorted by construction. Sortedness is asserted in debug builds.
+#[inline]
+fn is_relevant(relevant: &[u32], item: u32) -> bool {
+    relevant.binary_search(&item).is_ok()
+}
+
+#[inline]
+fn debug_assert_sorted(relevant: &[u32]) {
+    debug_assert!(
+        relevant.windows(2).all(|w| w[0] <= w[1]),
+        "top-K metrics require `relevant` sorted ascending"
+    );
 }
 
 /// Precision@K: fraction of the top-K ranked items that are relevant.
 ///
 /// `ranked` is the recommendation list (best first); `relevant` is the
-/// held-out positive set. `K = min(k, ranked.len())` denominates — by
-/// convention an empty list gives 0.
+/// held-out positive set, **sorted ascending**. `K = min(k, ranked.len())`
+/// denominates — by convention an empty list gives 0.
 pub fn precision_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
     if ranked.is_empty() || k == 0 {
         return 0.0;
     }
+    debug_assert_sorted(relevant);
     let k = k.min(ranked.len());
-    let hits = ranked[..k].iter().filter(|i| relevant.contains(i)).count();
+    let hits = ranked[..k].iter().filter(|i| is_relevant(relevant, **i)).count();
     hits as f64 / k as f64
 }
 
 /// Recall@K: fraction of the relevant items found in the top K.
-/// Returns 0 when `relevant` is empty.
+/// `relevant` must be sorted ascending. Returns 0 when it is empty.
 pub fn recall_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
     if relevant.is_empty() || ranked.is_empty() || k == 0 {
         return 0.0;
     }
+    debug_assert_sorted(relevant);
     let k = k.min(ranked.len());
-    let hits = ranked[..k].iter().filter(|i| relevant.contains(i)).count();
+    let hits = ranked[..k].iter().filter(|i| is_relevant(relevant, **i)).count();
     hits as f64 / relevant.len() as f64
 }
 
 /// NDCG@K with binary relevance: `DCG = Σ 1/log₂(rank+1)` over hits,
-/// normalized by the ideal DCG.
+/// normalized by the ideal DCG. `relevant` must be sorted ascending.
 pub fn ndcg_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
     if relevant.is_empty() || ranked.is_empty() || k == 0 {
         return 0.0;
     }
+    debug_assert_sorted(relevant);
     let k = k.min(ranked.len());
     let mut dcg = 0.0f64;
     for (rank, item) in ranked[..k].iter().enumerate() {
-        if relevant.contains(item) {
+        if is_relevant(relevant, *item) {
             dcg += 1.0 / ((rank + 2) as f64).log2();
         }
     }
@@ -108,12 +131,14 @@ pub fn ndcg_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
 }
 
 /// HitRate@K: 1 when any relevant item appears in the top K, else 0.
+/// `relevant` must be sorted ascending.
 pub fn hit_rate_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
     if relevant.is_empty() || ranked.is_empty() || k == 0 {
         return 0.0;
     }
+    debug_assert_sorted(relevant);
     let k = k.min(ranked.len());
-    if ranked[..k].iter().any(|i| relevant.contains(i)) {
+    if ranked[..k].iter().any(|i| is_relevant(relevant, *i)) {
         1.0
     } else {
         0.0
@@ -121,9 +146,11 @@ pub fn hit_rate_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
 }
 
 /// Mean reciprocal rank of the *first* relevant item (0 if none appears).
+/// `relevant` must be sorted ascending.
 pub fn mrr(ranked: &[u32], relevant: &[u32]) -> f64 {
+    debug_assert_sorted(relevant);
     for (rank, item) in ranked.iter().enumerate() {
-        if relevant.contains(item) {
+        if is_relevant(relevant, *item) {
             return 1.0 / (rank + 1) as f64;
         }
     }
@@ -155,6 +182,36 @@ mod tests {
         assert_eq!(auc(&[(0.5, true)]), None);
         assert_eq!(auc(&[(0.5, false), (0.2, false)]), None);
         assert_eq!(auc(&[]), None);
+    }
+
+    #[test]
+    fn auc_is_deterministic_under_nan_scores() {
+        // A NaN score is a model bug (kglint MD004 flags it), but the
+        // metric itself must not become order-dependent. `total_cmp`
+        // ranks NaN above every finite score, so a NaN-scored negative
+        // outranks all positives and drags AUC down deterministically.
+        let a = [(f32::NAN, false), (0.9, true), (0.1, false)];
+        let b = [(0.9f32, true), (0.1, false), (f32::NAN, false)];
+        assert_eq!(auc(&a), auc(&b));
+        assert_eq!(auc(&a), Some(0.5));
+        // NaN-scored positive ranks top: perfect separation.
+        let c = [(0.2f32, false), (f32::NAN, true)];
+        assert_eq!(auc(&c), Some(1.0));
+        // Infinities order as usual.
+        let d = [(f32::NEG_INFINITY, false), (f32::INFINITY, true)];
+        assert_eq!(auc(&d), Some(1.0));
+    }
+
+    #[test]
+    fn topk_membership_uses_binary_search_on_sorted_relevant() {
+        // A relevance set larger than any test elsewhere, to exercise the
+        // binary-search path on both present and absent probes.
+        let relevant: Vec<u32> = (0..200).map(|i| i * 3).collect(); // 0,3,6,...
+        let ranked = [3u32, 4, 599, 597, 1];
+        assert_eq!(precision_at_k(&ranked, &relevant, 5), 2.0 / 5.0);
+        assert_eq!(hit_rate_at_k(&ranked, &relevant, 1), 1.0);
+        assert_eq!(mrr(&ranked, &relevant), 1.0);
+        assert_eq!(mrr(&[4u32, 5, 597], &relevant), 1.0 / 3.0);
     }
 
     #[test]

@@ -18,7 +18,36 @@ pub struct TrainContext<'a> {
 
 impl<'a> TrainContext<'a> {
     /// Convenience constructor.
+    ///
+    /// In debug builds this validates the bundle's cross-references — the
+    /// cheap subset of the `kgrec-check` (`kglint`) rule set that can run
+    /// on every construction: the train matrix must share the dataset's
+    /// id spaces (DS003) and the item↔entity alignment must be complete
+    /// and in range (KG003). Release builds skip the checks.
     pub fn new(dataset: &'a KgDataset, train: &'a InteractionMatrix) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert_eq!(
+                train.num_users(),
+                dataset.interactions.num_users(),
+                "TrainContext: train matrix user space differs from the dataset's (DS003)"
+            );
+            debug_assert_eq!(
+                train.num_items(),
+                dataset.interactions.num_items(),
+                "TrainContext: train matrix item space differs from the dataset's (DS003)"
+            );
+            debug_assert_eq!(
+                dataset.item_entities.len(),
+                train.num_items(),
+                "TrainContext: item-entity alignment does not cover every item (KG003)"
+            );
+            let n_entities = dataset.graph.num_entities();
+            debug_assert!(
+                dataset.item_entities.iter().all(|e| e.index() < n_entities),
+                "TrainContext: aligned entity out of range for the graph (KG003)"
+            );
+        }
         Self { dataset, train }
     }
 

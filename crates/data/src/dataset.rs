@@ -119,10 +119,7 @@ impl KgDataset {
     /// Reverse alignment: item for a graph entity, if any.
     pub fn item_of(&self, e: EntityId) -> Option<ItemId> {
         // Linear scan is fine: called only by explanation rendering.
-        self.item_entities
-            .iter()
-            .position(|&x| x == e)
-            .map(|i| ItemId(i as u32))
+        self.item_entities.iter().position(|&x| x == e).map(|i| ItemId(i as u32))
     }
 
     /// Builds the user–item graph for a given training matrix: the item KG
@@ -149,9 +146,8 @@ impl KgDataset {
         let user_ty = b.entity_type("user");
         let interact = b.relation(INTERACT_RELATION);
         let interact_inv = b.relation(&format!("{INTERACT_RELATION}_inv"));
-        let user_entities: Vec<EntityId> = (0..train.num_users())
-            .map(|u| b.entity(&format!("user:{u}"), user_ty))
-            .collect();
+        let user_entities: Vec<EntityId> =
+            (0..train.num_users()).map(|u| b.entity(&format!("user:{u}"), user_ty)).collect();
         for u in 0..train.num_users() {
             let user = UserId(u as u32);
             let ue = user_entities[u];

@@ -170,8 +170,7 @@ mod tests {
     #[test]
     fn dataset_aligns_items_by_name() {
         let li = parse_interactions("alice\tdune\nalice\tsolaris\n").unwrap();
-        let ds =
-            parse_dataset(&li, "dune\tauthor\therbert\nsolaris\tauthor\tlem\n").unwrap();
+        let ds = parse_dataset(&li, "dune\tauthor\therbert\nsolaris\tauthor\tlem\n").unwrap();
         assert_eq!(ds.item_entities.len(), 2);
         let e = ds.entity_of(ItemId(0));
         assert_eq!(ds.graph.entity_name(e), "dune");

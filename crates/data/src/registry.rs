@@ -77,7 +77,12 @@ pub fn table4() -> Vec<DatasetEntry> {
             papers: &[44, 86, 88, 89, 91, 93],
             generator: Some("movielens_1m_like"),
         },
-        DatasetEntry { scenario: Movie, name: "DoubanMovie", papers: &[69, 79, 82], generator: None },
+        DatasetEntry {
+            scenario: Movie,
+            name: "DoubanMovie",
+            papers: &[69, 79, 82],
+            generator: None,
+        },
         DatasetEntry { scenario: Book, name: "DBbook2014", papers: &[70, 87], generator: None },
         DatasetEntry {
             scenario: Book,

@@ -255,7 +255,7 @@ pub fn generate(config: &ScenarioConfig, seed: u64) -> SyntheticDataset {
                 .clamp(1, config.num_items.saturating_sub(1).max(1))
         };
         for (j, w) in weights.iter_mut().enumerate() {
-            let affinity = user_topic_weights[u][item_topics[j]] as f64;
+            let affinity = f64::from(user_topic_weights[u][item_topics[j]]);
             let pop = if pop_max > 0.0 { popularity[j] / pop_max } else { 0.0 };
             *w = (config.preference_sharpness * affinity + pop).exp();
         }
@@ -363,8 +363,7 @@ pub fn generate(config: &ScenarioConfig, seed: u64) -> SyntheticDataset {
                 w.iter()
                     .enumerate()
                     .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                    .map(|(i, _)| i)
-                    .unwrap_or(0)
+                    .map_or(0, |(i, _)| i)
             })
             .collect();
         let mut users_by_topic = vec![Vec::new(); t];
@@ -667,7 +666,7 @@ mod tests {
         let mut count = 0usize;
         for u in 0..d.config.num_users {
             for &item in m.items_of(UserId(u as u32)) {
-                hit += d.user_topic_weights[u][d.item_topics[item.index()]] as f64;
+                hit += f64::from(d.user_topic_weights[u][d.item_topics[item.index()]]);
                 count += 1;
             }
         }
@@ -738,11 +737,7 @@ mod tests {
         };
         let same = links.iter().filter(|&&(a, b)| primary(a) == primary(b)).count();
         // 80% homophily bias: well over half the links share a topic.
-        assert!(
-            same * 2 > links.len(),
-            "only {same}/{} links homophilous",
-            links.len()
-        );
+        assert!(same * 2 > links.len(), "only {same}/{} links homophilous", links.len());
         // No self-links.
         assert!(links.iter().all(|&(a, b)| a != b));
     }

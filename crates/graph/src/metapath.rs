@@ -56,11 +56,7 @@ impl MetaPath {
 
     /// Human-readable rendering using relation names from `graph`.
     pub fn describe(&self, graph: &KnowledgeGraph) -> String {
-        self.relations
-            .iter()
-            .map(|&r| graph.relation_name(r))
-            .collect::<Vec<_>>()
-            .join(" -> ")
+        self.relations.iter().map(|&r| graph.relation_name(r)).collect::<Vec<_>>().join(" -> ")
     }
 
     /// Counts the walks from `source` that follow this meta-path, returning

@@ -46,8 +46,7 @@ impl SimilarityMatrix {
     pub fn get(&self, i: usize, j: usize) -> f32 {
         self.rows[i]
             .binary_search_by_key(&(j as u32), |&(c, _)| c)
-            .map(|k| self.rows[i][k].1)
-            .unwrap_or(0.0)
+            .map_or(0.0, |k| self.rows[i][k].1)
     }
 
     /// Total number of stored nonzeros.
@@ -93,9 +92,7 @@ pub fn pathsim_matrix(
     let self_counts: Vec<f64> = entities
         .iter()
         .zip(counts.iter())
-        .map(|(&e, row)| {
-            row.binary_search_by_key(&e.0, |&(t, _)| t.0).map(|k| row[k].1).unwrap_or(0.0)
-        })
+        .map(|(&e, row)| row.binary_search_by_key(&e.0, |&(t, _)| t.0).map_or(0.0, |k| row[k].1))
         .collect();
     let mut rows = Vec::with_capacity(entities.len());
     for (i, row) in counts.iter().enumerate() {
@@ -117,15 +114,10 @@ pub fn pathsim_matrix(
 }
 
 /// PathSim between two specific entities under `metapath`.
-pub fn pathsim_pair(
-    graph: &KnowledgeGraph,
-    x: EntityId,
-    y: EntityId,
-    metapath: &MetaPath,
-) -> f32 {
+pub fn pathsim_pair(graph: &KnowledgeGraph, x: EntityId, y: EntityId, metapath: &MetaPath) -> f32 {
     let cx = metapath.walk_counts(graph, x);
     let get = |row: &[(EntityId, f64)], e: EntityId| {
-        row.binary_search_by_key(&e.0, |&(t, _)| t.0).map(|k| row[k].1).unwrap_or(0.0)
+        row.binary_search_by_key(&e.0, |&(t, _)| t.0).map_or(0.0, |k| row[k].1)
     };
     let xy = get(&cx, y);
     if xy == 0.0 {

@@ -58,9 +58,12 @@ impl DistMult {
         let hv = self.entities.row(h.index()).to_vec();
         let rv = self.relations.row(r.index()).to_vec();
         let tv = self.entities.row(t.index()).to_vec();
-        let grad_h: Vec<f32> = (0..hv.len()).map(|i| dl_ds * rv[i] * tv[i] + self.l2 * hv[i]).collect();
-        let grad_r: Vec<f32> = (0..hv.len()).map(|i| dl_ds * hv[i] * tv[i] + self.l2 * rv[i]).collect();
-        let grad_t: Vec<f32> = (0..hv.len()).map(|i| dl_ds * hv[i] * rv[i] + self.l2 * tv[i]).collect();
+        let grad_h: Vec<f32> =
+            (0..hv.len()).map(|i| dl_ds * rv[i] * tv[i] + self.l2 * hv[i]).collect();
+        let grad_r: Vec<f32> =
+            (0..hv.len()).map(|i| dl_ds * hv[i] * tv[i] + self.l2 * rv[i]).collect();
+        let grad_t: Vec<f32> =
+            (0..hv.len()).map(|i| dl_ds * hv[i] * rv[i] + self.l2 * tv[i]).collect();
         self.entities.add_to_row(h.index(), -lr, &grad_h);
         self.relations.add_to_row(r.index(), -lr, &grad_r);
         self.entities.add_to_row(t.index(), -lr, &grad_t);

@@ -68,7 +68,7 @@ pub fn train<M: KgeModel>(model: &mut M, graph: &KnowledgeGraph, config: &TrainC
         for &idx in &order {
             let pos = graph.triples()[idx];
             let neg = corrupt(graph, pos, &mut rng);
-            total += model.train_pair(pos, neg, config.learning_rate) as f64;
+            total += f64::from(model.train_pair(pos, neg, config.learning_rate));
         }
         model.post_epoch();
         let denom = order.len().max(1) as f64;
@@ -138,12 +138,9 @@ mod tests {
         let mut m = TransE::new(&mut rng, g.num_entities(), g.num_relations(), 16, 1.0);
         train(&mut m, &g, &TrainConfig { epochs: 60, learning_rate: 0.05, seed: 5 });
         // Mean score of facts vs. cross-cluster non-facts.
-        let fact_mean: f32 = g
-            .triples()
-            .iter()
-            .map(|t| m.score(t.head, t.rel, t.tail))
-            .sum::<f32>()
-            / g.num_triples() as f32;
+        let fact_mean: f32 =
+            g.triples().iter().map(|t| m.score(t.head, t.rel, t.tail)).sum::<f32>()
+                / g.num_triples() as f32;
         let mut non_mean = 0.0f32;
         let mut count = 0;
         for i in 0..4u32 {

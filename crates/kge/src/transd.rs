@@ -174,8 +174,7 @@ mod tests {
         let hv = m.entities.row(0);
         let rv = m.relations.row(0);
         let tv = m.entities.row(1);
-        let transe: f32 =
-            (0..5).map(|i| (hv[i] + rv[i] - tv[i]).powi(2)).sum();
+        let transe: f32 = (0..5).map(|i| (hv[i] + rv[i] - tv[i]).powi(2)).sum();
         assert!((m.distance(h, r, t) - transe).abs() < 1e-6);
     }
 

@@ -42,7 +42,7 @@ impl TransR {
             }
             // Small symmetric noise so relations differentiate.
             for v in m.data_mut().iter_mut() {
-                *v += rng.gen_range(-0.05..0.05);
+                *v += rng.gen_range(-0.05f32..0.05);
             }
             projections.push(m);
         }

@@ -82,9 +82,8 @@ mod tests {
         // f(x) = x0² + 3 x1, grad = [2 x0, 3].
         let mut params = vec![1.5f32, -2.0];
         let analytic = vec![3.0f32, 3.0];
-        let fails = check_gradient(&mut params, &analytic, 1e-3, 1e-2, |p| {
-            p[0] * p[0] + 3.0 * p[1]
-        });
+        let fails =
+            check_gradient(&mut params, &analytic, 1e-3, 1e-2, |p| p[0] * p[0] + 3.0 * p[1]);
         assert!(fails.is_empty(), "{fails:?}");
         // Parameters restored.
         assert_eq!(params, vec![1.5, -2.0]);

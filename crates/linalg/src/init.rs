@@ -22,7 +22,12 @@ pub fn transe_uniform<R: Rng + ?Sized>(rng: &mut R, buf: &mut [f32], dim: usize)
 
 /// Fills `buf` with Xavier/Glorot uniform samples for a layer with the
 /// given fan-in and fan-out: `U[-√(6/(in+out)), √(6/(in+out)))`.
-pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, buf: &mut [f32], fan_in: usize, fan_out: usize) {
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    buf: &mut [f32],
+    fan_in: usize,
+    fan_out: usize,
+) {
     let b = (6.0 / (fan_in + fan_out) as f32).sqrt();
     uniform(rng, buf, -b, b);
 }
@@ -83,8 +88,7 @@ mod tests {
         let mut buf = vec![0.0f32; 20_000];
         gaussian(&mut rng, &mut buf, 2.0, 3.0);
         let mean = buf.iter().sum::<f32>() / buf.len() as f32;
-        let var =
-            buf.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / (buf.len() - 1) as f32;
+        let var = buf.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / (buf.len() - 1) as f32;
         assert!((mean - 2.0).abs() < 0.1, "mean={mean}");
         assert!((var - 9.0).abs() < 0.5, "var={var}");
     }

@@ -16,9 +16,9 @@
 //! one example at a time (matching the original SGD formulations), and the
 //! gradient-check tests validate each layer against finite differences.
 
+use crate::init;
 use crate::matrix::Matrix;
 use crate::vector;
-use crate::init;
 use rand::Rng;
 
 /// Element-wise activation functions used across the models.
@@ -348,12 +348,8 @@ mod tests {
     fn mlp_learns_xor() {
         let mut rng = StdRng::seed_from_u64(40);
         let mut mlp = Mlp::new(&mut rng, &[2, 8, 1], Activation::Tanh, Activation::Sigmoid);
-        let data = [
-            ([0.0f32, 0.0], 0.0f32),
-            ([0.0, 1.0], 1.0),
-            ([1.0, 0.0], 1.0),
-            ([1.0, 1.0], 0.0),
-        ];
+        let data =
+            [([0.0f32, 0.0], 0.0f32), ([0.0, 1.0], 1.0), ([1.0, 0.0], 1.0), ([1.0, 1.0], 0.0)];
         for _ in 0..3000 {
             for (x, t) in &data {
                 mlp.zero_grad();

@@ -250,7 +250,7 @@ mod tests {
                 let z = vector::dot(&readout, trace.final_hidden());
                 let y = vector::sigmoid(z);
                 let dz = y - target; // BCE gradient through sigmoid
-                // dl/dh = dz * readout; dl/dreadout = dz * h
+                                     // dl/dh = dz * readout; dl/dreadout = dz * h
                 let dh: Vec<f32> = readout.iter().map(|r| dz * r).collect();
                 let h = trace.final_hidden().to_vec();
                 let _ = cell.backward(&trace, &dh);

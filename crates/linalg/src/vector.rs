@@ -186,10 +186,7 @@ pub fn softmax(x: &[f32]) -> Vec<f32> {
 pub fn softmax_backward(p: &[f32], dl_dp: &[f32]) -> Vec<f32> {
     assert_eq!(p.len(), dl_dp.len(), "softmax_backward: dimension mismatch");
     let inner = dot(p, dl_dp);
-    p.iter()
-        .zip(dl_dp.iter())
-        .map(|(pi, gi)| pi * (gi - inner))
-        .collect()
+    p.iter().zip(dl_dp.iter()).map(|(pi, gi)| pi * (gi - inner)).collect()
 }
 
 /// Mean of a slice; `0.0` for an empty slice.
@@ -220,9 +217,7 @@ pub fn argmax(x: &[f32]) -> Option<usize> {
 pub fn top_k_indices(x: &[f32], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..x.len()).collect();
     idx.sort_by(|&a, &b| {
-        x[b].partial_cmp(&x[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
+        x[b].partial_cmp(&x[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
     });
     idx.truncate(k);
     idx

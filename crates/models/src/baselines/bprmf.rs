@@ -5,7 +5,7 @@
 //! `−log σ(ŷ_pos − ŷ_neg)` over sampled `(user, pos, neg)` triples.
 
 use crate::common::{baseline_taxonomy, sample_observed};
-use kgrec_core::{CoreError, Recommender, TrainContext, Taxonomy};
+use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::negative::sample_negative;
 use kgrec_data::{ItemId, UserId};
 use kgrec_linalg::{vector, EmbeddingTable};
@@ -132,10 +132,10 @@ impl Recommender for BprMf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kgrec_data::split::ratio_split;
-    use kgrec_data::synth::{generate, ScenarioConfig};
     use kgrec_core::protocol::evaluate_ctr;
     use kgrec_data::negative::labeled_eval_set;
+    use kgrec_data::split::ratio_split;
+    use kgrec_data::synth::{generate, ScenarioConfig};
 
     #[test]
     fn learns_planted_preferences_above_chance() {

@@ -5,7 +5,7 @@
 //! Only the top `neighbors` similar items per item are retained.
 
 use crate::common::baseline_taxonomy;
-use kgrec_core::{CoreError, Recommender, TrainContext, Taxonomy};
+use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::{InteractionMatrix, ItemId, UserId};
 
 /// Item-based KNN recommender.
@@ -153,8 +153,7 @@ mod tests {
 
     #[test]
     fn neighbor_cap_respected() {
-        let (ds, train) =
-            make(&[(0, &[0, 1, 2, 3]), (1, &[0, 1, 2, 3]), (2, &[0, 1, 2, 3])]);
+        let (ds, train) = make(&[(0, &[0, 1, 2, 3]), (1, &[0, 1, 2, 3]), (2, &[0, 1, 2, 3])]);
         let mut m = ItemKnn::new(2);
         m.fit(&TrainContext::new(&ds, &train)).unwrap();
         for row in &m.sims {

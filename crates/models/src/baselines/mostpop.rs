@@ -1,7 +1,7 @@
 //! Most-popular baseline: rank items by training popularity.
 
 use crate::common::baseline_taxonomy;
-use kgrec_core::{CoreError, Recommender, TrainContext, Taxonomy};
+use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::{ItemId, UserId};
 
 /// Non-personalized popularity recommender — the floor every personalized
@@ -28,8 +28,7 @@ impl Recommender for MostPop {
     }
 
     fn fit(&mut self, ctx: &TrainContext<'_>) -> Result<(), CoreError> {
-        self.popularity =
-            ctx.train.item_popularity().into_iter().map(|c| c as f32).collect();
+        self.popularity = ctx.train.item_popularity().into_iter().map(|c| c as f32).collect();
         Ok(())
     }
 

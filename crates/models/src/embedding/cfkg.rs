@@ -7,7 +7,7 @@
 //! (survey Eq. 7).
 
 use crate::common::taxonomy_of;
-use kgrec_core::{CoreError, Recommender, TrainContext, Taxonomy};
+use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::dataset::UserItemGraph;
 use kgrec_data::{ItemId, UserId};
 use kgrec_kge::{train, KgeModel, TrainConfig, TransE};

@@ -13,7 +13,7 @@
 //! click-history attention) is preserved; see `DESIGN.md` §2.
 
 use crate::common::{sample_observed, taxonomy_of};
-use kgrec_core::{CoreError, Recommender, TrainContext, Taxonomy};
+use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::negative::sample_negative;
 use kgrec_data::{ItemId, UserId};
 use kgrec_kge::{train as kge_train, KgeModel, TrainConfig, TransD};
@@ -77,8 +77,7 @@ impl DknLite {
 
     /// News vector `v_j = mean(words) ⊕ knowledge` (length `2·dim`).
     fn news_vec(&self, item: ItemId) -> Vec<f32> {
-        let ids: Vec<usize> =
-            self.item_words[item.index()].iter().map(|&w| w as usize).collect();
+        let ids: Vec<usize> = self.item_words[item.index()].iter().map(|&w| w as usize).collect();
         let mut v = self.words.mean_of_rows(&ids);
         v.extend_from_slice(&self.knowledge[item.index()]);
         v
@@ -118,11 +117,14 @@ impl DknLite {
         let mut dcand = dinput[dim2..].to_vec();
         // Backprop through attention: u = Σ p_k v_k, p = softmax(z),
         // z_k = v_k·cand.
-        let mut dclicked: Vec<Vec<f32>> = clicked.iter().map(|v| {
-            // direct term p_k · du
-            let _ = v;
-            vec![0.0f32; dim2]
-        }).collect();
+        let mut dclicked: Vec<Vec<f32>> = clicked
+            .iter()
+            .map(|v| {
+                // direct term p_k · du
+                let _ = v;
+                vec![0.0f32; dim2]
+            })
+            .collect();
         if !clicked.is_empty() {
             let dl_dp: Vec<f32> = clicked.iter().map(|v| vector::dot(du, v)).collect();
             let dl_dz = vector::softmax_backward(&attn, &dl_dp);
@@ -182,13 +184,8 @@ impl Recommender for DknLite {
         );
         // Knowledge channel: TransD on the item KG, frozen afterwards.
         let graph = &ctx.dataset.graph;
-        let mut kge = TransD::new(
-            &mut rng,
-            graph.num_entities(),
-            graph.num_relations().max(1),
-            dim,
-            1.0,
-        );
+        let mut kge =
+            TransD::new(&mut rng, graph.num_entities(), graph.num_relations().max(1), dim, 1.0);
         if graph.num_triples() > 0 {
             kge_train(
                 &mut kge,
@@ -228,8 +225,12 @@ impl Recommender for DknLite {
                     .collect()
             })
             .collect();
-        self.scorer =
-            Some(Mlp::new(&mut rng, &[4 * dim, 2 * dim, 1], Activation::Relu, Activation::Identity));
+        self.scorer = Some(Mlp::new(
+            &mut rng,
+            &[4 * dim, 2 * dim, 1],
+            Activation::Relu,
+            Activation::Identity,
+        ));
         let lr = self.config.learning_rate;
         for _ in 0..self.config.epochs {
             for _ in 0..ctx.train.num_interactions() {

@@ -10,7 +10,7 @@
 //! simplified to pointwise logistic regression).
 
 use crate::common::{sample_observed, taxonomy_of};
-use kgrec_core::{CoreError, Recommender, TrainContext, Taxonomy};
+use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::negative::sample_negative;
 use kgrec_data::{ItemId, UserId};
 use kgrec_graph::{MetaPath, RelationId};
@@ -88,8 +88,7 @@ impl Entity2Rec {
                 out.push(0.0);
                 continue;
             }
-            let ids: Vec<usize> =
-                hist.iter().map(|&i| self.alignment[i.index()].index()).collect();
+            let ids: Vec<usize> = hist.iter().map(|&i| self.alignment[i.index()].index()).collect();
             let profile = table.mean_of_rows(&ids);
             out.push(vector::cosine(&profile, table.row(self.alignment[item.index()].index())));
         }
@@ -115,9 +114,8 @@ impl Recommender for Entity2Rec {
         let graph = &ctx.dataset.graph;
         self.alignment = ctx.dataset.item_entities.clone();
         self.num_items = ctx.num_items();
-        self.histories = (0..ctx.num_users())
-            .map(|u| ctx.train.items_of(UserId(u as u32)).to_vec())
-            .collect();
+        self.histories =
+            (0..ctx.num_users()).map(|u| ctx.train.items_of(UserId(u as u32)).to_vec()).collect();
         // Property-specific spaces: walks constrained to r / r_inv hops.
         let base = graph.num_base_relations();
         let mp_cfg = Metapath2VecConfig {
@@ -134,10 +132,7 @@ impl Recommender for Entity2Rec {
             .map(|r| {
                 let has_inv = graph.num_relations() >= 2 * base;
                 let pattern = if has_inv {
-                    MetaPath::new(vec![
-                        RelationId(r as u32),
-                        RelationId((r + base) as u32),
-                    ])
+                    MetaPath::new(vec![RelationId(r as u32), RelationId((r + base) as u32)])
                 } else {
                     MetaPath::new(vec![RelationId(r as u32)])
                 };
@@ -147,10 +142,7 @@ impl Recommender for Entity2Rec {
         // Collaborative space over the user–item graph (unconstrained
         // walks; the interact edges dominate connectivity there).
         let uig = ctx.dataset.user_item_graph(ctx.train);
-        let collab_cfg = Metapath2VecConfig {
-            seed: self.config.seed.wrapping_add(1),
-            ..mp_cfg
-        };
+        let collab_cfg = Metapath2VecConfig { seed: self.config.seed.wrapping_add(1), ..mp_cfg };
         self.collab = Some(metapath2vec(&uig.graph, None, &collab_cfg));
         self.collab_users = uig.user_entities;
         self.collab_items = uig.item_entities;

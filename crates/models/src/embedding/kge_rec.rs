@@ -181,7 +181,7 @@ impl Recommender for KgeRecommender {
                 self.0.train_pair(pos, neg, lr)
             }
             fn post_epoch(&mut self) {
-                self.0.post_epoch()
+                self.0.post_epoch();
             }
             fn name(&self) -> &'static str {
                 self.0.name()
@@ -214,11 +214,7 @@ impl Recommender for KgeRecommender {
 
     fn score(&self, user: UserId, item: ItemId) -> f32 {
         let (model, uig) = self.state.as_ref().expect("KgeRecommender: fit before score");
-        model.score(
-            uig.user_entities[user.index()],
-            uig.interact,
-            uig.item_entities[item.index()],
-        )
+        model.score(uig.user_entities[user.index()], uig.interact, uig.item_entities[item.index()])
     }
 
     fn num_items(&self) -> usize {

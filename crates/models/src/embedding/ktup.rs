@@ -10,7 +10,7 @@
 //! hinge loss of survey Eq. 11.
 
 use crate::common::{sample_observed, taxonomy_of};
-use kgrec_core::{CoreError, Recommender, TrainContext, Taxonomy};
+use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::negative::sample_negative;
 use kgrec_data::{ItemId, UserId};
 use kgrec_graph::Triple;
@@ -186,12 +186,10 @@ impl Recommender for Ktup {
         let graph = &ctx.dataset.graph;
         self.users = EmbeddingTable::transe_init(&mut rng, ctx.num_users(), dim);
         self.entities = EmbeddingTable::transe_init(&mut rng, graph.num_entities(), dim);
-        self.preferences =
-            EmbeddingTable::transe_init(&mut rng, self.config.num_preferences, dim);
+        self.preferences = EmbeddingTable::transe_init(&mut rng, self.config.num_preferences, dim);
         self.rel_translations =
             EmbeddingTable::transe_init(&mut rng, graph.num_relations().max(1), dim);
-        self.rel_normals =
-            EmbeddingTable::transe_init(&mut rng, graph.num_relations().max(1), dim);
+        self.rel_normals = EmbeddingTable::transe_init(&mut rng, graph.num_relations().max(1), dim);
         self.rel_normals.normalize_rows();
         self.alignment = ctx.dataset.item_entities.clone();
         let lr = self.config.learning_rate;

@@ -16,7 +16,7 @@
 //! latent features regularizing both tasks through the unit, is intact).
 
 use crate::common::{sample_observed, taxonomy_of};
-use kgrec_core::{CoreError, Recommender, TrainContext, Taxonomy};
+use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::negative::sample_negative;
 use kgrec_data::{ItemId, UserId};
 use kgrec_kge::trainer::corrupt;
@@ -83,10 +83,8 @@ impl CrossUnit {
         let b = vector::dot(v, &self.w_ev);
         let c = vector::dot(e, &self.w_ve);
         let d = vector::dot(v, &self.w_ee);
-        let vp: Vec<f32> =
-            (0..v.len()).map(|i| a * v[i] + b * e[i] + self.b_v[i]).collect();
-        let ep: Vec<f32> =
-            (0..v.len()).map(|i| c * v[i] + d * e[i] + self.b_e[i]).collect();
+        let vp: Vec<f32> = (0..v.len()).map(|i| a * v[i] + b * e[i] + self.b_v[i]).collect();
+        let ep: Vec<f32> = (0..v.len()).map(|i| c * v[i] + d * e[i] + self.b_e[i]).collect();
         (vp, ep, a, b, c, d)
     }
 }
@@ -150,10 +148,8 @@ impl Mkr {
         let dvp_v = vector::dot(&dvp, &v);
         let dvp_e = vector::dot(&dvp, &e);
         // Through the unit: dL/dv = a·dv' + (e·dv')·w_ev ; dL/de = b·dv' + (v·dv')·w_vv.
-        let dv: Vec<f32> =
-            (0..v.len()).map(|i| a * dvp[i] + dvp_e * cross.w_ev[i]).collect();
-        let de: Vec<f32> =
-            (0..v.len()).map(|i| b * dvp[i] + dvp_v * cross.w_vv[i]).collect();
+        let dv: Vec<f32> = (0..v.len()).map(|i| a * dvp[i] + dvp_e * cross.w_ev[i]).collect();
+        let de: Vec<f32> = (0..v.len()).map(|i| b * dvp[i] + dvp_v * cross.w_vv[i]).collect();
         // Parameter grads.
         for i in 0..v.len() {
             cross.w_vv[i] -= lr * (dvp_v * e[i] + l2 * cross.w_vv[i]);

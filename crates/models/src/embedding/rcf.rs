@@ -15,7 +15,7 @@
 //! surface; see `DESIGN.md` §4.
 
 use crate::common::{sample_observed, taxonomy_of};
-use kgrec_core::{CoreError, Recommender, TrainContext, Taxonomy};
+use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::negative::sample_negative;
 use kgrec_data::{ItemId, UserId};
 use kgrec_graph::{EntityId, RelationId};
@@ -126,9 +126,8 @@ impl Rcf {
         let uvec = self.users.row(user.index());
         let vi = self.entities.row(self.alignment[item.index()].index());
         // Relation-type attention α(u).
-        let mut alpha: Vec<f32> = (0..self.num_relations)
-            .map(|r| vector::dot(uvec, self.relations.row(r)))
-            .collect();
+        let mut alpha: Vec<f32> =
+            (0..self.num_relations).map(|r| vector::dot(uvec, self.relations.row(r))).collect();
         vector::softmax_in_place(&mut alpha);
         let hist = &self.histories[user.index()];
         let denom = hist.len().max(1) as f32;
@@ -142,8 +141,7 @@ impl Rcf {
             if conn.is_empty() {
                 continue;
             }
-            let w: f32 =
-                conn.iter().map(|&(r, c)| alpha[r.index()] * c).sum::<f32>() / denom;
+            let w: f32 = conn.iter().map(|&(r, c)| alpha[r.index()] * c).sum::<f32>() / denom;
             let vj = self.entities.row(self.alignment[j.index()].index());
             z += w * vector::dot(vj, vi);
             parts.push((j, w));
@@ -237,17 +235,14 @@ impl Recommender for Rcf {
             .alignment
             .iter()
             .map(|&e| {
-                let mut set: Vec<(RelationId, EntityId)> = graph
-                    .neighbors(e)
-                    .filter(|&(r, _)| r.index() < base)
-                    .collect();
+                let mut set: Vec<(RelationId, EntityId)> =
+                    graph.neighbors(e).filter(|&(r, _)| r.index() < base).collect();
                 set.sort();
                 set
             })
             .collect();
-        self.histories = (0..ctx.num_users())
-            .map(|u| ctx.train.items_of(UserId(u as u32)).to_vec())
-            .collect();
+        self.histories =
+            (0..ctx.num_users()).map(|u| ctx.train.items_of(UserId(u as u32)).to_vec()).collect();
         let lr = self.config.learning_rate;
         let triples = graph.triples();
         for _ in 0..self.config.epochs {

@@ -15,7 +15,7 @@
 //! links simply skip the social channel.
 
 use crate::common::{sample_observed, taxonomy_of};
-use kgrec_core::{CoreError, Recommender, TrainContext, Taxonomy};
+use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::negative::sample_negative;
 use kgrec_data::{ItemId, UserId};
 use kgrec_linalg::{vector, Activation, Dense};
@@ -74,8 +74,7 @@ impl Channel {
             let x = self.inputs[idx].clone();
             let xhat = self.decoder.forward(&h);
             // Squared reconstruction error.
-            let dl: Vec<f32> =
-                xhat.iter().zip(x.iter()).map(|(a, b)| 2.0 * (a - b)).collect();
+            let dl: Vec<f32> = xhat.iter().zip(x.iter()).map(|(a, b)| 2.0 * (a - b)).collect();
             let dh = self.decoder.backward(&dl);
             self.decoder.step_sgd(recon_lr, 0.0);
             let _ = self.encoder.backward(&dh);
@@ -126,7 +125,8 @@ impl Shine {
     }
 
     fn user_vec(&self, user: UserId) -> Vec<f32> {
-        let mut h = self.sentiment_user.as_ref().expect("Shine: fit before score").encode(user.index());
+        let mut h =
+            self.sentiment_user.as_ref().expect("Shine: fit before score").encode(user.index());
         if let Some(social) = &self.social {
             vector::axpy(1.0, &social.encode(user.index()), &mut h);
         }
@@ -134,7 +134,8 @@ impl Shine {
     }
 
     fn item_vec(&self, item: ItemId) -> Vec<f32> {
-        let mut h = self.sentiment_item.as_ref().expect("Shine: fit before score").encode(item.index());
+        let mut h =
+            self.sentiment_item.as_ref().expect("Shine: fit before score").encode(item.index());
         if let Some(profile) = &self.profile {
             vector::axpy(1.0, &profile.encode(item.index()), &mut h);
         }
@@ -207,9 +208,10 @@ impl Recommender for Shine {
         for _ in 0..self.config.epochs {
             for _ in 0..ctx.train.num_interactions() {
                 let Some((u, pos)) = sample_observed(ctx.train, &mut rng) else { break };
-                for (item, label) in [(Some(pos), 1.0f32), (sample_negative(ctx.train, u, &mut rng), 0.0)]
-                    .into_iter()
-                    .filter_map(|(i, y)| i.map(|i| (i, y)))
+                for (item, label) in
+                    [(Some(pos), 1.0f32), (sample_negative(ctx.train, u, &mut rng), 0.0)]
+                        .into_iter()
+                        .filter_map(|(i, y)| i.map(|i| (i, y)))
                 {
                     // Forward through channels (with reconstruction).
                     let mut hu = self
@@ -234,17 +236,19 @@ impl Recommender for Shine {
                     let dz = vector::sigmoid(z) - label;
                     let dhu: Vec<f32> = hv.iter().map(|x| dz * x).collect();
                     let dhv: Vec<f32> = hu.iter().map(|x| dz * x).collect();
-                    self.sentiment_user
-                        .as_mut()
-                        .expect("initialized")
-                        .apply_hidden_grad(u.index(), &dhu, lr);
+                    self.sentiment_user.as_mut().expect("initialized").apply_hidden_grad(
+                        u.index(),
+                        &dhu,
+                        lr,
+                    );
                     if let Some(social) = self.social.as_mut() {
                         social.apply_hidden_grad(u.index(), &dhu, lr);
                     }
-                    self.sentiment_item
-                        .as_mut()
-                        .expect("initialized")
-                        .apply_hidden_grad(item.index(), &dhv, lr);
+                    self.sentiment_item.as_mut().expect("initialized").apply_hidden_grad(
+                        item.index(),
+                        &dhv,
+                        lr,
+                    );
                     if let Some(profile) = self.profile.as_mut() {
                         profile.apply_hidden_grad(item.index(), &dhv, lr);
                     }

@@ -10,7 +10,7 @@
 
 use crate::common::{sample_observed, taxonomy_of};
 use crate::pathbased::util::{canonical_metapaths, item_of_entity};
-use kgrec_core::{CoreError, Recommender, TrainContext, Taxonomy};
+use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::negative::sample_negative;
 use kgrec_data::{ItemId, UserId};
 use kgrec_graph::MetaGraph;
@@ -38,14 +38,7 @@ pub struct FmgLiteConfig {
 
 impl Default for FmgLiteConfig {
     fn default() -> Self {
-        Self {
-            rank: 8,
-            mf_epochs: 20,
-            fm_epochs: 15,
-            fm_factors: 4,
-            learning_rate: 0.05,
-            seed: 67,
-        }
+        Self { rank: 8, mf_epochs: 20, fm_epochs: 15, fm_factors: 4, learning_rate: 0.05, seed: 67 }
     }
 }
 
@@ -193,8 +186,9 @@ impl Recommender for FmgLite {
             for _ in 0..ctx.train.num_interactions() {
                 let Some((u, pos)) = sample_observed(ctx.train, &mut rng) else { break };
                 let neg = sample_negative(ctx.train, u, &mut rng);
-                for (item, label) in
-                    [(Some(pos), 1.0f32), (neg, 0.0)].into_iter().filter_map(|(i, y)| i.map(|i| (i, y)))
+                for (item, label) in [(Some(pos), 1.0f32), (neg, 0.0)]
+                    .into_iter()
+                    .filter_map(|(i, y)| i.map(|i| (i, y)))
                 {
                     let x = self.features(u, item);
                     let (y, sums) = self.fm_forward(&x);
@@ -301,7 +295,8 @@ mod tests {
     fn fused_metagraph_added_for_multi_relation_kgs() {
         let synth = generate(&ScenarioConfig::tiny(), 3);
         let split = ratio_split(&synth.dataset.interactions, 0.2, 1);
-        let mut m = FmgLite::new(FmgLiteConfig { mf_epochs: 2, fm_epochs: 1, ..Default::default() });
+        let mut m =
+            FmgLite::new(FmgLiteConfig { mf_epochs: 2, fm_epochs: 1, ..Default::default() });
         m.fit(&TrainContext::new(&synth.dataset, &split.train)).unwrap();
         // tiny: collaborative + genre + maker single paths + fused = 4.
         assert_eq!(m.factors.len(), 4);

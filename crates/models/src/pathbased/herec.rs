@@ -11,7 +11,7 @@
 
 use crate::common::{sample_observed, taxonomy_of};
 use crate::pathbased::util::canonical_metapaths;
-use kgrec_core::{CoreError, Recommender, TrainContext, Taxonomy};
+use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::negative::sample_negative;
 use kgrec_data::{ItemId, UserId};
 use kgrec_kge::metapath2vec::{metapath2vec, Metapath2VecConfig};
@@ -79,10 +79,7 @@ impl HeRec {
     fn features(&self, user: UserId, item: ItemId) -> Vec<f32> {
         let ue = self.user_entities[user.index()].index();
         let ie = self.item_entities[item.index()].index();
-        self.path_embeddings
-            .iter()
-            .map(|t| vector::cosine(t.row(ue), t.row(ie)))
-            .collect()
+        self.path_embeddings.iter().map(|t| vector::cosine(t.row(ue), t.row(ie))).collect()
     }
 
     fn raw_score(&self, user: UserId, item: ItemId) -> f32 {

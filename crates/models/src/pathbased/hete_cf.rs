@@ -8,7 +8,7 @@
 
 use crate::common::{sample_observed, taxonomy_of};
 use crate::pathbased::hete_mf::item_similarity_matrices;
-use kgrec_core::{CoreError, Recommender, TrainContext, Taxonomy};
+use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::negative::sample_negative;
 use kgrec_data::{ItemId, UserId};
 use kgrec_graph::pathsim::{pathsim_matrix, SimilarityMatrix};
@@ -130,8 +130,7 @@ impl Recommender for HeteCf {
             if total > 0.0 {
                 merged.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
                 merged.truncate(self.config.max_ui_per_user);
-                *bucket =
-                    merged.into_iter().map(|(i, c)| (i, (c / total) as f32)).collect();
+                *bucket = merged.into_iter().map(|(i, c)| (i, (c / total) as f32)).collect();
             }
         }
         self.ui_sims = ui;
@@ -142,8 +141,9 @@ impl Recommender for HeteCf {
             for _ in 0..ctx.train.num_interactions() {
                 let Some((u, pos)) = sample_observed(ctx.train, &mut rng) else { break };
                 let neg = sample_negative(ctx.train, u, &mut rng);
-                for (item, y) in
-                    [(Some(pos), 1.0f32), (neg, 0.0)].into_iter().filter_map(|(i, y)| i.map(|i| (i, y)))
+                for (item, y) in [(Some(pos), 1.0f32), (neg, 0.0)]
+                    .into_iter()
+                    .filter_map(|(i, y)| i.map(|i| (i, y)))
                 {
                     let uv = self.users.row(u.index()).to_vec();
                     let iv = self.items.row(item.index()).to_vec();

@@ -7,7 +7,7 @@
 //! squared-error factorization of the implicit feedback matrix.
 
 use crate::common::{sample_observed, taxonomy_of};
-use kgrec_core::{CoreError, Recommender, TrainContext, Taxonomy};
+use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::negative::sample_negative;
 use kgrec_data::{ItemId, UserId};
 use kgrec_graph::pathsim::{pathsim_matrix, SimilarityMatrix};
@@ -73,9 +73,7 @@ impl HeteMf {
 
 /// Computes the item–item PathSim matrices for every `I-A-I` meta-path of
 /// the item KG (one per base relation with a materialized inverse).
-pub(crate) fn item_similarity_matrices(
-    dataset: &kgrec_data::KgDataset,
-) -> Vec<SimilarityMatrix> {
+pub(crate) fn item_similarity_matrices(dataset: &kgrec_data::KgDataset) -> Vec<SimilarityMatrix> {
     let g = &dataset.graph;
     let base = g.num_base_relations();
     let mut out = Vec::new();
@@ -113,7 +111,9 @@ impl Recommender for HeteMf {
             // observed entries target 1, sampled negatives target 0.
             for _ in 0..ctx.train.num_interactions() {
                 let Some((u, pos)) = sample_observed(ctx.train, &mut rng) else { break };
-                for (item, y) in [(pos, 1.0f32), (sample_negative(ctx.train, u, &mut rng).unwrap_or(pos), 0.0)] {
+                for (item, y) in
+                    [(pos, 1.0f32), (sample_negative(ctx.train, u, &mut rng).unwrap_or(pos), 0.0)]
+                {
                     if y == 0.0 && ctx.train.contains(u, item) {
                         continue; // negative sampling fell back to pos
                     }
@@ -199,7 +199,7 @@ mod tests {
         let mut sim_n = 0usize;
         for i in 0..sim.len() {
             for &(j, _) in sim.row(i) {
-                sim_dist += vector::dist_sq(m.items.row(i), m.items.row(j as usize)) as f64;
+                sim_dist += f64::from(vector::dist_sq(m.items.row(i), m.items.row(j as usize)));
                 sim_n += 1;
             }
         }
@@ -209,7 +209,7 @@ mod tests {
         for i in 0..n {
             let j = (i + n / 2) % n;
             if sim.get(i, j) == 0.0 && i != j {
-                rnd_dist += vector::dist_sq(m.items.row(i), m.items.row(j)) as f64;
+                rnd_dist += f64::from(vector::dist_sq(m.items.row(i), m.items.row(j)));
                 rnd_n += 1;
             }
         }

@@ -11,7 +11,7 @@
 
 use crate::common::{sample_observed, taxonomy_of};
 use crate::pathbased::util::{canonical_metapaths, item_of_entity};
-use kgrec_core::{CoreError, Recommender, TrainContext, Taxonomy};
+use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::negative::sample_negative;
 use kgrec_data::{ItemId, UserId};
 use kgrec_linalg::{vector, EmbeddingTable};
@@ -160,10 +160,8 @@ fn learn_weights(
         for _ in 0..ctx.train.num_interactions() {
             let Some((u, pos)) = sample_observed(ctx.train, rng) else { break };
             let Some(neg) = sample_negative(ctx.train, u, rng) else { continue };
-            let fp: Vec<f32> =
-                factors.iter().map(|f| f.predict(u.index(), pos.index())).collect();
-            let fn_: Vec<f32> =
-                factors.iter().map(|f| f.predict(u.index(), neg.index())).collect();
+            let fp: Vec<f32> = factors.iter().map(|f| f.predict(u.index(), pos.index())).collect();
+            let fn_: Vec<f32> = factors.iter().map(|f| f.predict(u.index(), neg.index())).collect();
             let x = vector::dot(&theta, &fp) - vector::dot(&theta, &fn_);
             let g = -vector::sigmoid(-x);
             for l in 0..theta.len() {
@@ -291,8 +289,7 @@ impl Recommender for HeteRecP {
         let c = self.config.clusters.clamp(1, m.max(1));
         let profiles: Vec<Vec<f32>> =
             (0..m).map(|u| Self::user_profile(&self.factors, u)).collect();
-        let mut centroids: Vec<Vec<f32>> =
-            (0..c).map(|k| profiles[k * m / c].clone()).collect();
+        let mut centroids: Vec<Vec<f32>> = (0..c).map(|k| profiles[k * m / c].clone()).collect();
         let mut assign = vec![0usize; m];
         for _ in 0..10 {
             for (u, p) in profiles.iter().enumerate() {
@@ -306,8 +303,7 @@ impl Recommender for HeteRecP {
                 assign[u] = best.1;
             }
             for (k, cen) in centroids.iter_mut().enumerate() {
-                let members: Vec<usize> =
-                    (0..m).filter(|&u| assign[u] == k).collect();
+                let members: Vec<usize> = (0..m).filter(|&u| assign[u] == k).collect();
                 if members.is_empty() {
                     continue;
                 }
@@ -361,11 +357,8 @@ impl Recommender for HeteRecP {
     fn score(&self, user: UserId, item: ItemId) -> f32 {
         // Eq. 18: Σ_k sim(C_k, u) Σ_l θ^k_l · û·v̂.
         let mem = &self.memberships[user.index()];
-        let preds: Vec<f32> = self
-            .factors
-            .iter()
-            .map(|f| f.predict(user.index(), item.index()))
-            .collect();
+        let preds: Vec<f32> =
+            self.factors.iter().map(|f| f.predict(user.index(), item.index())).collect();
         mem.iter()
             .zip(self.cluster_theta.iter())
             .map(|(&w, theta)| w * vector::dot(theta, &preds))
@@ -425,11 +418,8 @@ mod tests {
     fn memberships_are_distributions() {
         let synth = generate(&ScenarioConfig::tiny(), 4);
         let split = ratio_split(&synth.dataset.interactions, 0.2, 1);
-        let mut m = HeteRecP::new(HeteRecConfig {
-            nmf_epochs: 3,
-            weight_epochs: 2,
-            ..Default::default()
-        });
+        let mut m =
+            HeteRecP::new(HeteRecConfig { nmf_epochs: 3, weight_epochs: 2, ..Default::default() });
         m.fit(&TrainContext::new(&synth.dataset, &split.train)).unwrap();
         for mem in &m.memberships {
             let s: f32 = mem.iter().sum();

@@ -10,7 +10,7 @@
 
 use crate::common::{sample_observed, taxonomy_of};
 use crate::pathbased::util::{index_user_paths, UserPathIndex};
-use kgrec_core::{CoreError, Recommender, TrainContext, Taxonomy};
+use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::negative::sample_negative;
 use kgrec_data::{ItemId, UserId};
 use kgrec_graph::paths::Path;
@@ -150,8 +150,7 @@ impl McRecLite {
         let Some(fwd) = self.context(user, item, paths) else { return };
         let uv = self.users.row(user.index()).to_vec();
         let iv = self.items.row(item.index()).to_vec();
-        let input: Vec<f32> =
-            uv.iter().chain(fwd.h.iter()).chain(iv.iter()).copied().collect();
+        let input: Vec<f32> = uv.iter().chain(fwd.h.iter()).chain(iv.iter()).copied().collect();
         let scorer = self.scorer.as_mut().expect("fit initializes scorer");
         scorer.zero_grad();
         let z = scorer.forward(&input)[0];
@@ -164,8 +163,7 @@ impl McRecLite {
         let mut dv = dinput[2 * d..].to_vec();
         // h = Σ a_l e_l: backprop through attention.
         let key = vector::add(&uv, &iv);
-        let dl_da: Vec<f32> =
-            fwd.groups.iter().map(|(_, e)| vector::dot(dh, e)).collect();
+        let dl_da: Vec<f32> = fwd.groups.iter().map(|(_, e)| vector::dot(dh, e)).collect();
         let dl_dz_att = vector::softmax_backward(&fwd.attention, &dl_da);
         // Gather per-group embedding grads and key grads.
         let mut dkey = vec![0.0f32; d];
@@ -206,14 +204,9 @@ impl Recommender for McRecLite {
         self.users = EmbeddingTable::uniform(&mut rng, ctx.num_users(), dim, scale);
         self.items = EmbeddingTable::uniform(&mut rng, ctx.num_items(), dim, scale);
         let uig = ctx.dataset.user_item_graph(ctx.train);
-        self.entities =
-            EmbeddingTable::uniform(&mut rng, uig.graph.num_entities(), dim, scale);
-        self.scorer = Some(Mlp::new(
-            &mut rng,
-            &[3 * dim, dim, 1],
-            Activation::Relu,
-            Activation::Identity,
-        ));
+        self.entities = EmbeddingTable::uniform(&mut rng, uig.graph.num_entities(), dim, scale);
+        self.scorer =
+            Some(Mlp::new(&mut rng, &[3 * dim, dim, 1], Activation::Relu, Activation::Identity));
         self.path_index = (0..ctx.num_users())
             .map(|u| {
                 index_user_paths(

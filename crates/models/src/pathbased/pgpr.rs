@@ -12,7 +12,7 @@
 //! followed — PGPR's headline feature.
 
 use crate::common::taxonomy_of;
-use kgrec_core::{CoreError, Recommender, TrainContext, Taxonomy};
+use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::{ItemId, UserId};
 use kgrec_graph::paths::Path;
 use kgrec_graph::{EntityId, RelationId};
@@ -140,9 +140,7 @@ impl Recommender for PgprLite {
         let horizon = self.config.horizon;
         // Reward: TransE plausibility of (user, interact, item), squashed.
         let reward_of = |policy: &PolicyState, u: usize, item_ent: EntityId| -> f32 {
-            vector::sigmoid(
-                policy.kge.score(uig.user_entities[u], uig.interact, item_ent) + 2.0,
-            )
+            vector::sigmoid(policy.kge.score(uig.user_entities[u], uig.interact, item_ent) + 2.0)
         };
         // --- REINFORCE training ---
         for u in 0..ctx.num_users() {
@@ -155,8 +153,7 @@ impl Recommender for PgprLite {
                 type Step = (Vec<(RelationId, EntityId)>, usize, Vec<f32>);
                 let mut steps: Vec<Step> = Vec::new();
                 for _ in 0..horizon {
-                    let actions: Vec<(RelationId, EntityId)> =
-                        g.edge_slice(cur).to_vec();
+                    let actions: Vec<(RelationId, EntityId)> = g.edge_slice(cur).to_vec();
                     if actions.is_empty() {
                         break;
                     }

@@ -11,7 +11,7 @@
 
 use crate::common::{sample_observed, taxonomy_of};
 use crate::pathbased::util::item_of_entity;
-use kgrec_core::{CoreError, Recommender, TrainContext, Taxonomy};
+use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::dataset::UserItemGraph;
 use kgrec_data::negative::sample_negative;
 use kgrec_data::{ItemId, UserId};
@@ -96,15 +96,13 @@ impl ProPpr {
                     next[src] += (1.0 - restart) * m;
                     continue;
                 }
-                let total: f32 =
-                    edges.iter().map(|&(r, _)| self.rule_weight(r.index())).sum();
+                let total: f32 = edges.iter().map(|&(r, _)| self.rule_weight(r.index())).sum();
                 if total <= 0.0 {
                     next[src] += (1.0 - restart) * m;
                     continue;
                 }
                 for &(r, t) in edges {
-                    next[t.index()] +=
-                        (1.0 - restart) * m * self.rule_weight(r.index()) / total;
+                    next[t.index()] += (1.0 - restart) * m * self.rule_weight(r.index()) / total;
                 }
             }
             std::mem::swap(&mut mass, &mut next);

@@ -14,7 +14,7 @@
 
 use crate::common::{sample_observed, taxonomy_of};
 use crate::pathbased::util::{index_user_paths, UserPathIndex};
-use kgrec_core::{CoreError, Recommender, TrainContext, Taxonomy};
+use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::dataset::UserItemGraph;
 use kgrec_data::negative::sample_negative;
 use kgrec_data::{ItemId, UserId};
@@ -172,8 +172,12 @@ impl Recommender for Rkge {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let dim = self.config.dim;
         let uig = ctx.dataset.user_item_graph(ctx.train);
-        self.entities =
-            EmbeddingTable::uniform(&mut rng, uig.graph.num_entities(), dim, 1.0 / (dim as f32).sqrt());
+        self.entities = EmbeddingTable::uniform(
+            &mut rng,
+            uig.graph.num_entities(),
+            dim,
+            1.0 / (dim as f32).sqrt(),
+        );
         self.relations = EmbeddingTable::uniform(
             &mut rng,
             uig.graph.num_relations().max(1),

@@ -9,7 +9,7 @@
 //! learned with BPR.
 
 use crate::common::{sample_observed, taxonomy_of};
-use kgrec_core::{CoreError, Recommender, TrainContext, Taxonomy};
+use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::negative::sample_negative;
 use kgrec_data::{InteractionMatrix, ItemId, UserId};
 use kgrec_graph::pathsim::{pathsim_matrix, SimilarityMatrix};
@@ -141,13 +141,11 @@ impl Recommender for SemRec {
     }
 
     fn score(&self, user: UserId, item: ItemId) -> f32 {
-        (0..self.user_sims.len())
-            .map(|l| self.theta[l] * self.path_score(l, user, item))
-            .sum()
+        (0..self.user_sims.len()).map(|l| self.theta[l] * self.path_score(l, user, item)).sum()
     }
 
     fn num_items(&self) -> usize {
-        self.train.as_ref().map_or(0, |t| t.num_items())
+        self.train.as_ref().map_or(0, kgrec_data::InteractionMatrix::num_items)
     }
 }
 

@@ -142,7 +142,18 @@ fn dfs(
             }
         }
         visited[t.index()] = true;
-        dfs(uig, item_map, remaining - 1, max_per_item, max_total, visited, ents, rels, by_item, total);
+        dfs(
+            uig,
+            item_map,
+            remaining - 1,
+            max_per_item,
+            max_total,
+            visited,
+            ents,
+            rels,
+            by_item,
+            total,
+        );
         visited[t.index()] = false;
         rels.pop();
         ents.pop();

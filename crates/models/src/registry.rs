@@ -15,11 +15,7 @@ use kgrec_core::Recommender;
 
 /// The KG-free baselines.
 pub fn baseline_models() -> Vec<Box<dyn Recommender>> {
-    vec![
-        Box::new(MostPop::new()),
-        Box::new(ItemKnn::new(50)),
-        Box::new(BprMf::default_config()),
-    ]
+    vec![Box::new(MostPop::new()), Box::new(ItemKnn::new(50)), Box::new(BprMf::default_config())]
 }
 
 /// The embedding-based methods (survey Section 4.1).

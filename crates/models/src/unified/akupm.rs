@@ -10,7 +10,7 @@
 //! `W`) with hand-derived gradients.
 
 use crate::common::{sample_observed, taxonomy_of};
-use kgrec_core::{CoreError, Recommender, TrainContext, Taxonomy};
+use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::negative::sample_negative;
 use kgrec_data::{ItemId, UserId};
 use kgrec_graph::ripple::{ripple_sets, RippleSets};
@@ -96,10 +96,8 @@ impl AkupmLite {
                 probs.push(Vec::new());
                 continue;
             }
-            let mut scores: Vec<f32> = hop
-                .iter()
-                .map(|t| vector::dot(self.entities.row(t.tail.index()), &wv))
-                .collect();
+            let mut scores: Vec<f32> =
+                hop.iter().map(|t| vector::dot(self.entities.row(t.tail.index()), &wv)).collect();
             vector::softmax_in_place(&mut scores);
             for (p, t) in scores.iter().zip(hop.iter()) {
                 vector::axpy(*p, self.entities.row(t.tail.index()), &mut user_vec);
@@ -180,14 +178,8 @@ impl Recommender for AkupmLite {
         let d = self.config.dim;
         let graph = &ctx.dataset.graph;
         // TransR pre-training for the entity representations.
-        let mut kge = TransR::new(
-            &mut rng,
-            graph.num_entities(),
-            graph.num_relations().max(1),
-            d,
-            d,
-            1.0,
-        );
+        let mut kge =
+            TransR::new(&mut rng, graph.num_entities(), graph.num_relations().max(1), d, d, 1.0);
         if graph.num_triples() > 0 {
             kge_train(
                 &mut kge,

@@ -15,7 +15,7 @@
 //! every epoch).
 
 use crate::common::{sample_observed, taxonomy_of};
-use kgrec_core::{CoreError, Recommender, TrainContext, Taxonomy};
+use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::negative::sample_negative;
 use kgrec_data::{ItemId, UserId};
 use kgrec_graph::{EntityId, KnowledgeGraph};
@@ -118,9 +118,7 @@ impl Kgat {
                 })
                 .collect();
             vector::softmax_in_place(&mut scores);
-            edges.push(
-                nbrs.iter().zip(scores.iter()).map(|(&(_, t), &a)| (t.0, a)).collect(),
-            );
+            edges.push(nbrs.iter().zip(scores.iter()).map(|(&(_, t), &a)| (t.0, a)).collect());
         }
         self.att_edges = edges;
     }
@@ -209,15 +207,10 @@ impl Recommender for Kgat {
         let graph = uig.graph.clone();
         self.user_entities = uig.user_entities.clone();
         self.item_entities = uig.item_entities.clone();
-        let mut kge = TransR::new(
-            &mut rng,
-            graph.num_entities(),
-            graph.num_relations().max(1),
-            d,
-            d,
-            1.0,
-        );
-        self.base = EmbeddingTable::uniform(&mut rng, graph.num_entities(), d, 1.0 / (d as f32).sqrt());
+        let mut kge =
+            TransR::new(&mut rng, graph.num_entities(), graph.num_relations().max(1), d, d, 1.0);
+        self.base =
+            EmbeddingTable::uniform(&mut rng, graph.num_entities(), d, 1.0 / (d as f32).sqrt());
         let mut w1 = Matrix::zeros(d, d);
         kgrec_linalg::init::xavier_uniform(&mut rng, w1.data_mut(), d, d);
         let mut w2 = Matrix::zeros(d, d);

@@ -14,7 +14,7 @@
 //! first hop — the dominant term — see `DESIGN.md` §4).
 
 use crate::common::{sample_observed, taxonomy_of};
-use kgrec_core::{CoreError, Recommender, TrainContext, Taxonomy};
+use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::negative::sample_negative;
 use kgrec_data::{ItemId, UserId};
 use kgrec_graph::sample::receptive_field;
@@ -217,11 +217,8 @@ impl Kgcn {
         let n = &cache.nbr_vec;
         match self.config.aggregator {
             Aggregator::Sum | Aggregator::Neighbor | Aggregator::Concat => {
-                let dpre: Vec<f32> = dout
-                    .iter()
-                    .zip(cache.out1.iter())
-                    .map(|(g, o)| g * (1.0 - o * o))
-                    .collect();
+                let dpre: Vec<f32> =
+                    dout.iter().zip(cache.out1.iter()).map(|(g, o)| g * (1.0 - o * o)).collect();
                 let layer = &mut self.layers[layer_idx];
                 let dinput = layer.w1.matvec_t(&dpre);
                 let input: Vec<f32> = match self.config.aggregator {
@@ -240,16 +237,10 @@ impl Kgcn {
                 }
             }
             Aggregator::BiInteraction => {
-                let dpre1: Vec<f32> = dout
-                    .iter()
-                    .zip(cache.out1.iter())
-                    .map(|(g, o)| g * (1.0 - o * o))
-                    .collect();
-                let dpre2: Vec<f32> = dout
-                    .iter()
-                    .zip(cache.out2.iter())
-                    .map(|(g, o)| g * (1.0 - o * o))
-                    .collect();
+                let dpre1: Vec<f32> =
+                    dout.iter().zip(cache.out1.iter()).map(|(g, o)| g * (1.0 - o * o)).collect();
+                let dpre2: Vec<f32> =
+                    dout.iter().zip(cache.out2.iter()).map(|(g, o)| g * (1.0 - o * o)).collect();
                 let layer = &mut self.layers[layer_idx];
                 let dsum = layer.w1.matvec_t(&dpre1);
                 let dhad = layer.w2.matvec_t(&dpre2);
@@ -259,10 +250,8 @@ impl Kgcn {
                 vector::axpy(-lr, &dpre1, &mut layer.b1);
                 layer.w2.rank1_update(-lr, &dpre2, &had);
                 vector::axpy(-lr, &dpre2, &mut layer.b2);
-                let da: Vec<f32> =
-                    (0..d).map(|i| dsum[i] + dhad[i] * n[i]).collect();
-                let dn: Vec<f32> =
-                    (0..d).map(|i| dsum[i] + dhad[i] * a[i]).collect();
+                let da: Vec<f32> = (0..d).map(|i| dsum[i] + dhad[i] * n[i]).collect();
+                let dn: Vec<f32> = (0..d).map(|i| dsum[i] + dhad[i] * a[i]).collect();
                 (da, dn)
             }
         }
@@ -272,8 +261,8 @@ impl Kgcn {
     fn field_rng(&self, user: UserId, item: ItemId) -> StdRng {
         StdRng::seed_from_u64(
             self.graph_seed_mix
-                ^ (user.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                ^ (item.0 as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+                ^ u64::from(user.0).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ u64::from(item.0).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
         )
     }
 
@@ -305,7 +294,9 @@ impl Kgcn {
         reps.push(
             fields
                 .iter()
-                .map(|hop| hop.iter().map(|&(_, e)| self.entities.row(e.index()).to_vec()).collect())
+                .map(|hop| {
+                    hop.iter().map(|&(_, e)| self.entities.row(e.index()).to_vec()).collect()
+                })
                 .collect(),
         );
         let mut caches: Vec<Vec<Vec<NodeCache>>> = Vec::with_capacity(cfg.hops);
@@ -386,8 +377,7 @@ impl Kgcn {
                     let mut dl_datt = vec![0.0f32; k_n];
                     for k in 0..k_n {
                         let child = p * k_n + k;
-                        let scaled: Vec<f32> =
-                            dn.iter().map(|x| fwd.att[h][p][k] * x).collect();
+                        let scaled: Vec<f32> = dn.iter().map(|x| fwd.att[h][p][k] * x).collect();
                         vector::axpy(1.0, &scaled, &mut dreps[t - 1][h + 1][child]);
                         dl_datt[k] = vector::dot(&dn, &fwd.reps[t - 1][h + 1][child]);
                     }
@@ -449,11 +439,10 @@ impl Kgcn {
         // be only 1 hop deep).
         let mut rng = StdRng::seed_from_u64(
             self.graph_seed_mix
-                ^ (user.0 as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93)
-                ^ (item.0 as u64).wrapping_mul(0xA5A5_B0D5_90F1_1E4D),
+                ^ u64::from(user.0).wrapping_mul(0xD6E8_FEB8_6659_FD93)
+                ^ u64::from(item.0).wrapping_mul(0xA5A5_B0D5_90F1_1E4D),
         );
-        let fields =
-            receptive_field(graph, self.alignment[item.index()], k_n, 2, &mut rng);
+        let fields = receptive_field(graph, self.alignment[item.index()], k_n, 2, &mut rng);
         let uvec = self.users.row(user.index()).to_vec();
         let attn_of = |uvec: &[f32], rels: &[RelationId], relations: &EmbeddingTable| {
             let mut scores: Vec<f32> =
@@ -475,11 +464,9 @@ impl Kgcn {
         let mut att1: Vec<Vec<f32>> = Vec::with_capacity(fields[1].len());
         let mut child_labels = Vec::with_capacity(fields[1].len());
         for j in 0..fields[1].len() {
-            let rels2: Vec<RelationId> =
-                (0..k_n).map(|k| fields[2][j * k_n + k].0).collect();
+            let rels2: Vec<RelationId> = (0..k_n).map(|k| fields[2][j * k_n + k].0).collect();
             let a = attn_of(&uvec, &rels2, &self.relations);
-            let l: f32 =
-                (0..k_n).map(|k| a[k] * raw[j * k_n + k]).sum();
+            let l: f32 = (0..k_n).map(|k| a[k] * raw[j * k_n + k]).sum();
             att1.push(a);
             child_labels.push(l);
         }
@@ -499,8 +486,7 @@ impl Kgcn {
         }
         // Backprop through hop-1 attentions: dl/da1_{jk} = a0_j · raw_{jk}.
         for j in 0..fields[1].len() {
-            let dl_da1: Vec<f32> =
-                (0..k_n).map(|k| dlhat * att0[j] * raw[j * k_n + k]).collect();
+            let dl_da1: Vec<f32> = (0..k_n).map(|k| dlhat * att0[j] * raw[j * k_n + k]).collect();
             let ds1 = vector::softmax_backward(&att1[j], &dl_da1);
             for (k, &ds) in ds1.iter().enumerate() {
                 let (r, _) = fields[2][j * k_n + k];
@@ -513,10 +499,7 @@ impl Kgcn {
     }
 
     fn user_has(&self, user: UserId, item: ItemId) -> bool {
-        self.history
-            .get(user.index())
-            .map(|h| h.binary_search(&item).is_ok())
-            .unwrap_or(false)
+        self.history.get(user.index()).is_some_and(|h| h.binary_search(&item).is_ok())
     }
 }
 
@@ -543,16 +526,14 @@ impl Recommender for Kgcn {
         let scale = 1.0 / (d as f32).sqrt();
         self.users = EmbeddingTable::uniform(&mut rng, ctx.num_users(), d, scale);
         self.entities = EmbeddingTable::uniform(&mut rng, graph.num_entities(), d, scale);
-        self.relations =
-            EmbeddingTable::uniform(&mut rng, graph.num_relations().max(1), d, scale);
+        self.relations = EmbeddingTable::uniform(&mut rng, graph.num_relations().max(1), d, scale);
         self.alignment = ctx.dataset.item_entities.clone();
         self.item_of_entity = vec![None; graph.num_entities()];
         for (j, e) in self.alignment.iter().enumerate() {
             self.item_of_entity[e.index()] = Some(ItemId(j as u32));
         }
-        self.history = (0..ctx.num_users())
-            .map(|u| ctx.train.items_of(UserId(u as u32)).to_vec())
-            .collect();
+        self.history =
+            (0..ctx.num_users()).map(|u| ctx.train.items_of(UserId(u as u32)).to_vec()).collect();
         self.graph_seed_mix = self.config.seed.wrapping_mul(0x2545_F491_4F6C_DD1D);
         let in_dim = |agg: Aggregator| match agg {
             Aggregator::Concat => 2 * d,
@@ -657,8 +638,7 @@ mod tests {
         let mut differs = false;
         for u in 0..5u32 {
             for i in 0..5u32 {
-                if (plain.score(UserId(u), ItemId(i)) - ls.score(UserId(u), ItemId(i))).abs()
-                    > 1e-6
+                if (plain.score(UserId(u), ItemId(i)) - ls.score(UserId(u), ItemId(i))).abs() > 1e-6
                 {
                     differs = true;
                 }

@@ -11,7 +11,7 @@
 //! finite differences in the tests).
 
 use crate::common::{sample_observed, taxonomy_of};
-use kgrec_core::{CoreError, Recommender, TrainContext, Taxonomy};
+use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::negative::sample_negative;
 use kgrec_data::{ItemId, UserId};
 use kgrec_graph::ripple::{ripple_sets, RippleSets};
@@ -119,8 +119,8 @@ impl RippleNet {
             let mut scores: Vec<f32> = hop
                 .iter()
                 .map(|t| {
-                    let rh = self.relations[t.rel.index()]
-                        .matvec(self.entities.row(t.head.index()));
+                    let rh =
+                        self.relations[t.rel.index()].matvec(self.entities.row(t.head.index()));
                     vector::dot(&q, &rh)
                 })
                 .collect();

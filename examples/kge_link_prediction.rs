@@ -94,7 +94,7 @@ fn train_boxed(m: &mut dyn KgeModel, graph: &kgrec_graph::KnowledgeGraph, cfg: &
             self.0.train_pair(pos, neg, lr)
         }
         fn post_epoch(&mut self) {
-            self.0.post_epoch()
+            self.0.post_epoch();
         }
         fn name(&self) -> &'static str {
             self.0.name()

@@ -28,7 +28,7 @@ fn main() {
     println!(
         "news corpus: {} articles with {}-token titles, vocab {}, {} clicks",
         data.interactions.num_items(),
-        data.item_words.as_ref().map(|w| w[0].len()).unwrap_or(0),
+        data.item_words.as_ref().map_or(0, |w| w[0].len()),
         data.vocab_size,
         data.interactions.num_interactions()
     );

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, lints, tests, and a strict kglint pass
+# over the whole synthetic scenario family. CI runs exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (workspace lints, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "== kglint --strict (all synthetic scenarios)"
+cargo run --release -p kgrec-check --bin kglint -- --strict
+
+echo "OK: all checks passed"

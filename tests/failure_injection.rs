@@ -64,12 +64,13 @@ fn all_models_survive_single_user() {
         .filter(|(u, _, _)| u.0 == 0)
         .map(|(u, i, _)| Interaction::implicit(u, i))
         .collect();
-    let inter = InteractionMatrix::from_interactions(
-        1,
-        synth.dataset.interactions.num_items(),
-        &one_user,
+    let inter =
+        InteractionMatrix::from_interactions(1, synth.dataset.interactions.num_items(), &one_user);
+    let ds = KgDataset::new(
+        inter.clone(),
+        synth.dataset.graph.clone(),
+        synth.dataset.item_entities.clone(),
     );
-    let ds = KgDataset::new(inter.clone(), synth.dataset.graph.clone(), synth.dataset.item_entities.clone());
     let ctx = TrainContext::new(&ds, &inter);
     for mut model in all_models(false) {
         let name = model.name();
@@ -96,7 +97,11 @@ fn all_models_handle_cold_items() {
         synth.dataset.interactions.num_items(),
         &filtered,
     );
-    let ds = KgDataset::new(inter.clone(), synth.dataset.graph.clone(), synth.dataset.item_entities.clone());
+    let ds = KgDataset::new(
+        inter.clone(),
+        synth.dataset.graph.clone(),
+        synth.dataset.item_entities.clone(),
+    );
     let ctx = TrainContext::new(&ds, &inter);
     for mut model in all_models(false) {
         let name = model.name();

@@ -20,7 +20,7 @@ fn arb_interactions() -> impl Strategy<Value = (usize, usize, Vec<(u8, u8)>)> {
 fn matrix(m: usize, n: usize, pairs: &[(u8, u8)]) -> InteractionMatrix {
     let inter: Vec<Interaction> = pairs
         .iter()
-        .map(|&(u, i)| Interaction::implicit(UserId(u as u32), ItemId(i as u32)))
+        .map(|&(u, i)| Interaction::implicit(UserId(u32::from(u)), ItemId(u32::from(i))))
         .collect();
     InteractionMatrix::from_interactions(m, n, &inter)
 }

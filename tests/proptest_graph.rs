@@ -13,10 +13,7 @@ use rand::SeedableRng;
 /// Strategy: a random graph as (num_entities, edge list).
 fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u8, u8, u8)>)> {
     (2usize..12).prop_flat_map(|n| {
-        let edges = prop::collection::vec(
-            (0..n as u8, 0u8..3, 0..n as u8),
-            0..40,
-        );
+        let edges = prop::collection::vec((0..n as u8, 0u8..3, 0..n as u8), 0..40);
         (Just(n), edges)
     })
 }
@@ -29,7 +26,7 @@ fn build(n: usize, edges: &[(u8, u8, u8)], inverse: bool) -> KnowledgeGraph {
         b.relation(&format!("r{r}"));
     }
     for &(h, r, t) in edges {
-        b.triple(ents[h as usize], RelationId(r as u32), ents[t as usize]);
+        b.triple(ents[h as usize], RelationId(u32::from(r)), ents[t as usize]);
     }
     b.build(inverse)
 }

@@ -1,8 +1,6 @@
 //! Property-based tests for the evaluation metrics.
 
-use kgrec_core::metrics::{
-    auc, hit_rate_at_k, mrr, ndcg_at_k, precision_at_k, recall_at_k,
-};
+use kgrec_core::metrics::{auc, hit_rate_at_k, mrr, ndcg_at_k, precision_at_k, recall_at_k};
 use proptest::prelude::*;
 
 fn arb_scored() -> impl Strategy<Value = Vec<(f32, bool)>> {
@@ -18,8 +16,108 @@ fn arb_ranking() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
     })
 }
 
+/// Reference membership-by-linear-scan metrics, used to pin down the
+/// binary-search implementations in `kgrec_core::metrics`. These mirror
+/// the formulas independently; any divergence is a bug in the fast path.
+mod reference {
+    pub fn precision_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
+        if ranked.is_empty() || k == 0 {
+            return 0.0;
+        }
+        let k = k.min(ranked.len());
+        let hits = ranked[..k].iter().filter(|i| relevant.contains(i)).count();
+        hits as f64 / k as f64
+    }
+
+    pub fn recall_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
+        if relevant.is_empty() || ranked.is_empty() || k == 0 {
+            return 0.0;
+        }
+        let k = k.min(ranked.len());
+        let hits = ranked[..k].iter().filter(|i| relevant.contains(i)).count();
+        hits as f64 / relevant.len() as f64
+    }
+
+    pub fn ndcg_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
+        if relevant.is_empty() || ranked.is_empty() || k == 0 {
+            return 0.0;
+        }
+        let k = k.min(ranked.len());
+        let mut dcg = 0.0f64;
+        for (rank, item) in ranked[..k].iter().enumerate() {
+            if relevant.contains(item) {
+                dcg += 1.0 / ((rank + 2) as f64).log2();
+            }
+        }
+        let ideal_hits = relevant.len().min(k);
+        let idcg: f64 = (0..ideal_hits).map(|r| 1.0 / ((r + 2) as f64).log2()).sum();
+        if idcg == 0.0 {
+            0.0
+        } else {
+            dcg / idcg
+        }
+    }
+
+    pub fn hit_rate_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
+        if relevant.is_empty() || ranked.is_empty() || k == 0 {
+            return 0.0;
+        }
+        let k = k.min(ranked.len());
+        if ranked[..k].iter().any(|i| relevant.contains(i)) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    pub fn mrr(ranked: &[u32], relevant: &[u32]) -> f64 {
+        for (rank, item) in ranked.iter().enumerate() {
+            if relevant.contains(item) {
+                return 1.0 / (rank + 1) as f64;
+            }
+        }
+        0.0
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn binary_search_metrics_match_linear_scan_reference(
+        (ranked, relevant) in arb_ranking(),
+        k in 0usize..25,
+    ) {
+        // `relevant` comes from a btree_set, so it is sorted ascending —
+        // the documented precondition of the binary-search fast path.
+        prop_assert_eq!(
+            precision_at_k(&ranked, &relevant, k),
+            reference::precision_at_k(&ranked, &relevant, k)
+        );
+        prop_assert_eq!(
+            recall_at_k(&ranked, &relevant, k),
+            reference::recall_at_k(&ranked, &relevant, k)
+        );
+        prop_assert_eq!(
+            ndcg_at_k(&ranked, &relevant, k),
+            reference::ndcg_at_k(&ranked, &relevant, k)
+        );
+        prop_assert_eq!(
+            hit_rate_at_k(&ranked, &relevant, k),
+            reference::hit_rate_at_k(&ranked, &relevant, k)
+        );
+        prop_assert_eq!(mrr(&ranked, &relevant), reference::mrr(&ranked, &relevant));
+    }
+
+    #[test]
+    fn auc_total_order_is_permutation_invariant(mut data in arb_scored(), rot in 0usize..50) {
+        // With `total_cmp` the sort is a total order, so AUC cannot depend
+        // on input order even when scores tie exactly.
+        let a = auc(&data);
+        let rot = rot % data.len().max(1);
+        data.rotate_left(rot);
+        prop_assert_eq!(a, auc(&data));
+    }
 
     #[test]
     fn auc_in_unit_interval(data in arb_scored()) {
