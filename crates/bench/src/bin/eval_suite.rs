@@ -10,14 +10,53 @@
 //! 3. path-based and unified methods expose reasoning paths (checked by
 //!    the figure1/explanation machinery, reported here as coverage).
 //!
-//! Usage: `cargo run --release -p kgrec-bench --bin eval_suite [--quick]`
+//! Every model trains under the supervisor, so a panicking or diverging
+//! model becomes a `failed` row in the outcome table instead of killing
+//! the run.
+//!
+//! Usage:
+//! `cargo run --release -p kgrec-bench --bin eval_suite -- [--quick]
+//! [--inject-fault[=<label>]]`
+//!
+//! `--inject-fault` is the graceful-degradation drill: it appends the
+//! deliberately broken models of [`kgrec_bench::doubles`] to the roster
+//! and, when a label is given (e.g. `--inject-fault=nan-ratings`, see
+//! [`kgrec_data::Fault`]), also corrupts every scenario bundle with that
+//! dataset fault before splitting. The suite must still finish all
+//! scenarios and report the casualties in the outcome summary.
 
-use kgrec_bench::{evaluate_model, preflight_check, print_eval_table, standard_split, EvalRow};
+use kgrec_bench::doubles::{NanBot, PanicBot, RecoverBot};
+use kgrec_bench::{
+    evaluate_model_supervised, outcome_counts, preflight_check, preflight_report, print_eval_table,
+    print_outcome_summary, standard_split, EvalRow, ModelReport,
+};
+use kgrec_core::{Recommender, SupervisorConfig};
 use kgrec_data::synth::{generate, ScenarioConfig};
+use kgrec_data::Fault;
 use kgrec_models::registry::all_models;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let inject = args.iter().any(|a| a == "--inject-fault" || a.starts_with("--inject-fault="));
+    let fault: Option<Fault> = args.iter().find_map(|a| {
+        a.strip_prefix("--inject-fault=").map(|label| match Fault::from_label(label) {
+            Some(f) => f,
+            None => {
+                let known: Vec<&str> = Fault::all().iter().map(Fault::label).collect();
+                panic!("unknown fault label {label:?}; known labels: {}", known.join(", "));
+            }
+        })
+    });
+    if inject {
+        // The drill provokes panics on purpose; keep the default hook's
+        // backtrace spam out of the report.
+        std::panic::set_hook(Box::new(|_| {}));
+        match fault {
+            Some(f) => println!("fault drill: broken models + dataset fault `{f}`"),
+            None => println!("fault drill: broken models on an otherwise clean bundle"),
+        }
+    }
     let scenarios: Vec<(ScenarioConfig, bool)> = if quick {
         vec![
             (ScenarioConfig::tiny(), false),
@@ -32,11 +71,22 @@ fn main() {
             (ScenarioConfig::bing_news_like(), true),
         ]
     };
+    let supervisor = SupervisorConfig::default();
     let mut summaries = Vec::new();
+    let mut totals = [0usize; 4];
     for (cfg, with_text) in &scenarios {
-        let synth = generate(cfg, 2024);
+        let mut synth = generate(cfg, 2024);
+        if let Some(f) = fault {
+            kgrec_data::inject(&mut synth.dataset, f);
+        }
         let split = standard_split(&synth, 7);
-        preflight_check(&synth, &split);
+        if inject {
+            // A corrupted bundle is the point of the drill: report what
+            // kglint sees and push on into the supervised evaluation.
+            preflight_report(&synth, &split);
+        } else {
+            preflight_check(&synth, &split);
+        }
         println!(
             "\nscenario {}: {} users, {} items, {} interactions, {} KG triples",
             cfg.name,
@@ -45,14 +95,32 @@ fn main() {
             synth.dataset.interactions.num_interactions(),
             synth.dataset.graph.num_triples()
         );
-        let mut rows: Vec<EvalRow> = Vec::new();
-        for mut model in all_models(*with_text) {
-            if let Some(row) = evaluate_model(model.as_mut(), &synth, &split, 11) {
-                println!("  done: {} (AUC {:.4})", row.model, row.auc);
-                rows.push(row);
-            }
+        let mut roster: Vec<Box<dyn Recommender>> = all_models(*with_text);
+        if inject {
+            roster.push(Box::new(PanicBot));
+            roster.push(Box::new(NanBot::default()));
+            roster.push(Box::new(RecoverBot::new(1)));
         }
+        let mut reports: Vec<ModelReport> = Vec::new();
+        for mut model in roster {
+            let report = evaluate_model_supervised(model.as_mut(), &synth, &split, 11, &supervisor);
+            match &report.row {
+                Some(row) => println!("  done: {} (AUC {:.4})", row.model, row.auc),
+                None => println!(
+                    "  FAILED: {} ({})",
+                    report.model,
+                    report.outcome.reason.as_deref().unwrap_or("no reason recorded")
+                ),
+            }
+            reports.push(report);
+        }
+        let rows: Vec<EvalRow> = reports.iter().filter_map(|r| r.row.clone()).collect();
         print_eval_table(&cfg.name, &rows);
+        print_outcome_summary(&cfg.name, &reports);
+        let counts = outcome_counts(&reports);
+        for (t, c) in totals.iter_mut().zip(counts) {
+            *t += c;
+        }
         summaries.push((cfg.name.clone(), rows));
     }
     // --- Claim checks ---
@@ -69,5 +137,14 @@ fn main() {
              best unified {best_unified:.4} | KG-aware wins: {}",
             best_kg > best_baseline
         );
+    }
+    let [ok, retried, degraded, failed] = totals;
+    println!(
+        "\n== Suite outcome: {ok} ok | {retried} retried | {degraded} degraded | {failed} failed \
+         across {} scenarios ==",
+        scenarios.len()
+    );
+    if inject && failed == 0 {
+        panic!("fault drill expected at least one failed outcome — injection is broken");
     }
 }

@@ -15,15 +15,21 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod doubles;
+
 use kgrec_check::rules::RegistryConsistency;
 use kgrec_check::{default_model_hyperparams, CheckBundle, CheckReport};
 use kgrec_core::protocol::{evaluate_ctr, evaluate_topk};
-use kgrec_core::{Recommender, TrainContext};
+use kgrec_core::{
+    panic_message, supervise_fit, FitOutcome, FitStatus, Recommender, SupervisorConfig,
+    TrainContext,
+};
 use kgrec_data::negative::labeled_eval_set;
 use kgrec_data::split::{ratio_split, Split};
 use kgrec_data::synth::{generate, ScenarioConfig, SyntheticDataset};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// One row of an evaluation table.
@@ -47,10 +53,131 @@ pub struct EvalRow {
     pub fit_seconds: f64,
 }
 
+/// Family column value: `"baseline"` for the KG-free baselines, the
+/// Table 3 usage label otherwise.
+fn family_of(model: &dyn Recommender) -> String {
+    if model.taxonomy().venue == "baseline" {
+        "baseline".to_owned()
+    } else {
+        model.taxonomy().usage.label().to_owned()
+    }
+}
+
+/// What a supervised evaluation produced for one model: the training
+/// outcome always, the metric row only when the model ended usable.
+#[derive(Debug)]
+pub struct ModelReport {
+    /// Model name.
+    pub model: &'static str,
+    /// Usage-type label (`Emb.` / `Path` / `Uni.` / `baseline`).
+    pub family: String,
+    /// The supervisor's verdict on training.
+    pub outcome: FitOutcome,
+    /// Metrics, when [`FitOutcome::is_usable`] held and evaluation
+    /// itself survived.
+    pub row: Option<EvalRow>,
+}
+
+/// Trains `model` under [`supervise_fit`] and, when the outcome is
+/// usable, evaluates it under both protocols.
+///
+/// Unlike [`evaluate_model`] this never panics and never silently drops
+/// a model: panics, divergence, non-finite scores and budget overruns
+/// all come back as a [`ModelReport`] whose outcome says what happened.
+/// Evaluation runs under its own `catch_unwind` — a model that trains
+/// but panics while ranking is downgraded to
+/// [`FitStatus::Failed`] with an `evaluation panicked` reason.
+pub fn evaluate_model_supervised(
+    model: &mut dyn Recommender,
+    synth: &SyntheticDataset,
+    split: &Split,
+    seed: u64,
+    config: &SupervisorConfig,
+) -> ModelReport {
+    let name = model.name();
+    let family = family_of(model);
+    let mut outcome = supervise_fit(model, &synth.dataset, &split.train, config);
+    let row = if outcome.is_usable() {
+        let fit_seconds = outcome.elapsed.as_secs_f64();
+        let fam = family.clone();
+        let evaluated = catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pairs = labeled_eval_set(&split.train, &split.test, 4, &mut rng);
+            let ctr = evaluate_ctr(&*model, &pairs);
+            let topk = evaluate_topk(&*model, &split.train, &split.test, &[10]);
+            EvalRow {
+                model: name,
+                family: fam,
+                auc: ctr.auc,
+                accuracy: ctr.accuracy,
+                recall_at_10: topk.cutoffs[0].recall,
+                ndcg_at_10: topk.cutoffs[0].ndcg,
+                hit_at_10: topk.cutoffs[0].hit_rate,
+                fit_seconds,
+            }
+        }));
+        match evaluated {
+            Ok(row) => Some(row),
+            Err(payload) => {
+                outcome.status = FitStatus::Failed;
+                outcome.reason =
+                    Some(format!("evaluation panicked: {}", panic_message(payload.as_ref())));
+                None
+            }
+        }
+    } else {
+        None
+    };
+    ModelReport { model: name, family, outcome, row }
+}
+
+/// Outcome counts across a set of reports, in state-machine order:
+/// `[ok, retried, degraded, failed]`.
+pub fn outcome_counts(reports: &[ModelReport]) -> [usize; 4] {
+    let mut counts = [0usize; 4];
+    for r in reports {
+        let i = match r.outcome.status {
+            FitStatus::Ok => 0,
+            FitStatus::Retried => 1,
+            FitStatus::Degraded => 2,
+            FitStatus::Failed => 3,
+        };
+        counts[i] += 1;
+    }
+    counts
+}
+
+/// Prints the per-model training-outcome table for one scenario: status,
+/// attempts, wall-clock, and the failure/degradation reason (`-` for
+/// clean first-attempt fits).
+pub fn print_outcome_summary(title: &str, reports: &[ModelReport]) {
+    println!("\n== {title}: training outcomes ==");
+    println!(
+        "{:<12} {:<9} {:<9} {:>8} {:>8}  reason",
+        "model", "family", "status", "attempts", "fit(s)"
+    );
+    for r in reports {
+        println!(
+            "{:<12} {:<9} {:<9} {:>8} {:>8.2}  {}",
+            r.model,
+            r.family,
+            r.outcome.status.label(),
+            r.outcome.attempts,
+            r.outcome.elapsed.as_secs_f64(),
+            r.outcome.reason.as_deref().unwrap_or("-")
+        );
+    }
+    let [ok, retried, degraded, failed] = outcome_counts(reports);
+    println!("   {ok} ok | {retried} retried | {degraded} degraded | {failed} failed");
+}
+
 /// Trains `model` on the split and evaluates it under both protocols.
 ///
 /// Returns `None` when the model cannot fit this dataset (e.g. DKN
-/// without token lists) — the caller skips the row.
+/// without token lists) — the caller skips the row. Unsupervised: a
+/// panicking `fit` propagates. The suite binaries use
+/// [`evaluate_model_supervised`] instead; this stays for callers that
+/// want failures to be loud (ablations over known-good configs).
 pub fn evaluate_model(
     model: &mut dyn Recommender,
     synth: &SyntheticDataset,
@@ -67,11 +194,7 @@ pub fn evaluate_model(
     let pairs = labeled_eval_set(&split.train, &split.test, 4, &mut rng);
     let ctr = evaluate_ctr(model, &pairs);
     let topk = evaluate_topk(model, &split.train, &split.test, &[10]);
-    let family = if model.taxonomy().venue == "baseline" {
-        "baseline".to_owned()
-    } else {
-        model.taxonomy().usage.label().to_owned()
-    };
+    let family = family_of(model);
     Some(EvalRow {
         model: model.name(),
         family,
@@ -112,6 +235,30 @@ pub fn preflight_check(synth: &SyntheticDataset, split: &Split) {
             report.render()
         );
     }
+}
+
+/// Non-fatal variant of [`preflight_check`] for fault-injection runs:
+/// runs the same strict `kglint` pass but *reports* instead of
+/// panicking, so a deliberately corrupted bundle can continue into the
+/// supervised evaluation. Returns `true` when strict mode would have
+/// failed — i.e. when the injected corruption was detected.
+pub fn preflight_report(synth: &SyntheticDataset, split: &Split) -> bool {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let pairs = labeled_eval_set(&split.train, &split.test, 4, &mut rng);
+    let bundle = CheckBundle::new(&synth.dataset)
+        .with_split(split)
+        .with_eval_pairs(&pairs)
+        .with_hyperparams(default_model_hyperparams());
+    let report = CheckReport::run(&bundle);
+    let dirty = report.fails(true);
+    if dirty {
+        println!(
+            "kglint flagged scenario {} (continuing under supervision):\n{}",
+            synth.config.name,
+            report.render()
+        );
+    }
+    dirty
 }
 
 /// Runs the registry/taxonomy consistency rule (`MD001`) in strict mode.
@@ -200,5 +347,62 @@ mod tests {
     #[test]
     fn text_table_does_not_panic_on_ragged_rows() {
         print_text_table(&["a", "b"], &[vec!["x".into(), "yyy".into()]]);
+    }
+
+    #[test]
+    fn supervised_evaluation_of_a_healthy_model_yields_a_row() {
+        let synth = generate(&ScenarioConfig::tiny(), 1);
+        let split = standard_split(&synth, 2);
+        let mut model = MostPop::new();
+        let report =
+            evaluate_model_supervised(&mut model, &synth, &split, 3, &SupervisorConfig::default());
+        assert_eq!(report.outcome.status, FitStatus::Ok);
+        let row = report.row.expect("usable outcome must carry metrics");
+        assert_eq!(row.model, "MostPop");
+        assert!(row.auc > 0.0 && row.auc <= 1.0);
+    }
+
+    #[test]
+    fn supervised_evaluation_isolates_a_panicking_model() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let synth = generate(&ScenarioConfig::tiny(), 1);
+        let split = standard_split(&synth, 2);
+        let mut model = crate::doubles::PanicBot;
+        let report =
+            evaluate_model_supervised(&mut model, &synth, &split, 3, &SupervisorConfig::default());
+        std::panic::set_hook(hook);
+        assert_eq!(report.outcome.status, FitStatus::Failed);
+        assert!(report.row.is_none());
+        assert!(report.outcome.reason.unwrap().contains("panic"));
+    }
+
+    #[test]
+    fn outcome_summary_counts_by_status() {
+        let synth = generate(&ScenarioConfig::tiny(), 1);
+        let split = standard_split(&synth, 2);
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut pop = MostPop::new();
+        let mut bot = crate::doubles::NanBot::default();
+        let reports = vec![
+            evaluate_model_supervised(&mut pop, &synth, &split, 3, &SupervisorConfig::default()),
+            evaluate_model_supervised(&mut bot, &synth, &split, 3, &SupervisorConfig::default()),
+        ];
+        std::panic::set_hook(hook);
+        assert_eq!(outcome_counts(&reports), [1, 0, 0, 1]);
+        // Rendering must not panic on mixed outcomes.
+        print_outcome_summary("test", &reports);
+    }
+
+    #[test]
+    fn preflight_report_is_quiet_on_clean_bundles_and_loud_on_faults() {
+        let synth = generate(&ScenarioConfig::tiny(), 1);
+        let split = standard_split(&synth, 2);
+        assert!(!preflight_report(&synth, &split));
+        let mut corrupted = generate(&ScenarioConfig::tiny(), 1);
+        kgrec_data::inject(&mut corrupted.dataset, kgrec_data::Fault::DuplicateTriples);
+        let split = standard_split(&corrupted, 2);
+        assert!(preflight_report(&corrupted, &split));
     }
 }

@@ -3,7 +3,7 @@
 use kgrec_data::negative::LabeledPair;
 use kgrec_data::split::Split;
 use kgrec_data::{InteractionMatrix, KgDataset};
-use kgrec_models::unified::{KgcnConfig, RippleNetConfig};
+use kgrec_models::unified::{KgatConfig, KgcnConfig, RippleNetConfig};
 
 /// A named float buffer attached for non-finite auditing (MD004): learned
 /// embeddings, score vectors, loss curves — anything that must stay
@@ -39,6 +39,7 @@ impl HyperParam {
 pub fn default_model_hyperparams() -> Vec<HyperParam> {
     let r = RippleNetConfig::default();
     let k = KgcnConfig::default();
+    let g = KgatConfig::default();
     vec![
         HyperParam::new("RippleNet", "dim", r.dim as f64),
         HyperParam::new("RippleNet", "hops", r.hops as f64),
@@ -52,6 +53,10 @@ pub fn default_model_hyperparams() -> Vec<HyperParam> {
         HyperParam::new("KGCN", "epochs", k.epochs as f64),
         HyperParam::new("KGCN", "learning_rate", f64::from(k.learning_rate)),
         HyperParam::new("KGCN", "l2", f64::from(k.l2)),
+        // KGAT's decorated second rate is exactly what MD005's name
+        // matching exists for.
+        HyperParam::new("KGAT", "learning_rate", f64::from(g.learning_rate)),
+        HyperParam::new("KGAT", "kg_learning_rate", f64::from(g.kg_learning_rate)),
     ]
 }
 

@@ -15,6 +15,7 @@
 //! | `MD002` | model/meta    | meta-path schemas resolvable against the relation vocabulary |
 //! | `MD003` | model/meta    | hop/dim/learning-rate hyper-parameters in valid ranges |
 //! | `MD004` | model/meta    | non-finite values in attached float buffers |
+//! | `MD005` | model/meta    | learning-rate hyper-parameters finite and positive |
 
 mod data;
 mod kg;
@@ -22,7 +23,9 @@ mod model;
 
 pub use data::{EmptyRows, IdSpaceMismatch, NegativeCollisions, SplitLeakage};
 pub use kg::{Alignment, DanglingIds, DuplicateTriples, IsolatedItems, UnreachableEntities};
-pub use model::{HyperParamRanges, MetaPathSchemas, NonFiniteValues, RegistryConsistency};
+pub use model::{
+    HyperParamRanges, LearningRateSanity, MetaPathSchemas, NonFiniteValues, RegistryConsistency,
+};
 
 use crate::bundle::CheckBundle;
 use crate::diagnostic::Diagnostic;
@@ -57,6 +60,7 @@ pub fn default_rules() -> Vec<Box<dyn Rule>> {
         Box::new(MetaPathSchemas),
         Box::new(HyperParamRanges),
         Box::new(NonFiniteValues),
+        Box::new(LearningRateSanity),
     ]
 }
 

@@ -239,6 +239,56 @@ impl Rule for HyperParamRanges {
     }
 }
 
+/// Whether a hyper-parameter name denotes a learning rate (`MD005`).
+///
+/// Matches the canonical `learning_rate`, any decorated variant containing
+/// it (`kg_learning_rate`), the bare `lr`, and `_lr`-suffixed names.
+fn is_learning_rate_name(name: &str) -> bool {
+    name.contains("learning_rate") || name == "lr" || name.ends_with("_lr")
+}
+
+/// `MD005`: learning-rate hyper-parameters are finite and positive.
+///
+/// Complements `MD003`, whose spec table only matches the exact name
+/// `learning_rate`: models carry decorated variants (KGAT's
+/// `kg_learning_rate`, `actor_lr`, …) that the table cannot enumerate. A
+/// zero rate freezes training, a negative one ascends the loss, and a
+/// non-finite one poisons every update — the static root causes the
+/// training supervisor later sees as divergence or NaN losses.
+pub struct LearningRateSanity;
+
+impl Rule for LearningRateSanity {
+    fn code(&self) -> &'static str {
+        "MD005"
+    }
+
+    fn summary(&self) -> &'static str {
+        "learning-rate hyper-parameters are finite and positive"
+    }
+
+    fn check(&self, bundle: &CheckBundle<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for hp in &bundle.hyperparams {
+            if !is_learning_rate_name(&hp.name) {
+                continue;
+            }
+            if !hp.value.is_finite() || hp.value <= 0.0 {
+                out.push(Diagnostic::new(
+                    self.code(),
+                    Severity::Error,
+                    Subject::Param { model: hp.model.clone(), name: hp.name.clone() },
+                    format!(
+                        "learning rate {} would freeze, invert or poison training; \
+                         it must be finite and > 0",
+                        hp.value
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
 /// `MD004`: attached float buffers contain only finite values.
 ///
 /// The hook models and harnesses use after training: attach embedding

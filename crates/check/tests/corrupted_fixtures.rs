@@ -231,6 +231,32 @@ fn md003_warns_above_soft_range() {
 }
 
 #[test]
+fn md005_fires_on_bad_learning_rates_in_any_spelling() {
+    let synth = tiny();
+    let bundle = CheckBundle::new(&synth.dataset).with_hyperparams(vec![
+        HyperParam::new("KGAT", "kg_learning_rate", 0.0), // frozen, decorated name
+        HyperParam::new("PGPR", "actor_lr", -0.01),       // inverted, _lr suffix
+        HyperParam::new("MKR", "learning_rate", f64::INFINITY), // poisoned
+    ]);
+    let report = CheckReport::run(&bundle);
+    assert!(report.codes_fired().contains("MD005"));
+    let md5 = report.diagnostics.iter().filter(|d| d.code == "MD005").count();
+    assert_eq!(md5, 3, "report:\n{}", report.render());
+}
+
+#[test]
+fn md005_silent_on_healthy_rates_and_non_lr_params() {
+    let synth = tiny();
+    let bundle = CheckBundle::new(&synth.dataset).with_hyperparams(vec![
+        HyperParam::new("KGCN", "learning_rate", 0.03),
+        // `l2` may legitimately be 0; MD005 must not claim it.
+        HyperParam::new("KGCN", "l2", 0.0),
+    ]);
+    let report = CheckReport::run(&bundle);
+    assert!(!report.codes_fired().contains("MD005"), "report:\n{}", report.render());
+}
+
+#[test]
 fn md004_fires_on_non_finite_float_buffer() {
     let synth = tiny();
     let values = [0.5f32, f32::NAN, 1.0, f32::INFINITY];

@@ -13,6 +13,11 @@
 //! * [`metrics`] — AUC, Precision@K, Recall@K, NDCG@K, HitRate@K, MRR;
 //! * [`protocol`] — the two evaluation protocols of the surveyed papers:
 //!   CTR-style pointwise evaluation and full-ranking top-K evaluation;
+//! * [`supervisor`] — the training supervisor: panic-isolated,
+//!   budgeted, retry-with-backoff execution of any `fit`
+//!   ([`supervisor::supervise_fit`]), reporting the
+//!   `ok → retried → degraded → failed` state machine the evaluation
+//!   harness renders per model;
 //! * [`explain`] — the explanation engine: reasoning paths between a user
 //!   and a recommended item in the user–item graph (survey Section 4's
 //!   explainability thread, and Figure 1's reasoning example);
@@ -27,9 +32,11 @@ pub mod kg_registry;
 pub mod metrics;
 pub mod protocol;
 pub mod recommender;
+pub mod supervisor;
 pub mod taxonomy;
 
 pub use error::CoreError;
 pub use explain::{Explainer, Explanation};
 pub use recommender::{Recommender, TrainContext};
+pub use supervisor::{panic_message, supervise_fit, FitOutcome, FitStatus, SupervisorConfig};
 pub use taxonomy::{Taxonomy, Technique, UsageType};

@@ -78,6 +78,19 @@ pub trait Recommender {
     /// Trains the model. Must be called before `score`.
     fn fit(&mut self, ctx: &TrainContext<'_>) -> Result<(), CoreError>;
 
+    /// Adjusts hyper-parameters ahead of a supervised retry of `fit`
+    /// (attempt `attempt`, 1-based): the convention is to halve the
+    /// learning rate and perturb the RNG seed so the retry explores a
+    /// different trajectory instead of replaying the failure
+    /// deterministically.
+    ///
+    /// Returns `false` (the default) when the model has no retry knobs;
+    /// the supervisor then stops retrying, because re-running an
+    /// unchanged deterministic `fit` reproduces the same failure.
+    fn prepare_retry(&mut self, _attempt: u32) -> bool {
+        false
+    }
+
     /// Predicted preference `ŷ_{i,j}` (monotone; not necessarily in
     /// `[0, 1]`).
     fn score(&self, user: UserId, item: ItemId) -> f32;

@@ -1,0 +1,518 @@
+//! The training supervisor: fault-isolated `fit` with retry, backoff and
+//! graceful degradation.
+//!
+//! The evaluation suite trains ~18 models on every scenario; one panicking
+//! `fit` must not abort the whole run, and one diverged learning rate must
+//! not silently train to garbage. [`supervise_fit`] wraps any
+//! [`Recommender::fit`] with four layers of protection:
+//!
+//! 1. **panic isolation** — the fit runs under `catch_unwind`; an escaped
+//!    panic becomes a typed [`CoreError::Panicked`] instead of a process
+//!    abort;
+//! 2. **output validation** — after a successful fit, a deterministic grid
+//!    of scores is probed; NaN or +∞ anywhere becomes
+//!    [`CoreError::NonFinite`] (by workspace convention `-∞` is legal: it
+//!    means "never recommend");
+//! 3. **bounded retry with backoff** — retryable failures (panic,
+//!    divergence, non-finite output) trigger up to
+//!    [`SupervisorConfig::max_retries`] retries; before each the model's
+//!    [`Recommender::prepare_retry`] hook halves its learning rate and
+//!    perturbs its seed. Models without retry knobs are not re-run — an
+//!    unchanged deterministic `fit` would replay the same failure;
+//! 4. **wall-clock budget** — an optional time budget; exceeding it after
+//!    a success degrades the outcome, exceeding it with no success fails
+//!    it.
+//!
+//! The outcome is the state machine of `DESIGN.md` §"Failure handling":
+//! `ok → retried(backoff) → degraded → failed`, reported as a
+//! [`FitOutcome`] the harness renders as a per-model row instead of dying.
+
+use crate::error::CoreError;
+use crate::recommender::{Recommender, TrainContext};
+use kgrec_data::{InteractionMatrix, ItemId, KgDataset, UserId};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// Supervisor policy knobs.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Maximum retries after the first attempt (total fits ≤ 1 + retries).
+    pub max_retries: u32,
+    /// Optional wall-clock budget across all attempts.
+    pub wall_clock_budget: Option<Duration>,
+    /// Users probed in the post-fit score validation grid.
+    pub probe_users: usize,
+    /// Items probed per user in the post-fit score validation grid.
+    pub probe_items: usize,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self { max_retries: 2, wall_clock_budget: None, probe_users: 8, probe_items: 16 }
+    }
+}
+
+impl SupervisorConfig {
+    /// Sets the wall-clock budget.
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.wall_clock_budget = Some(budget);
+        self
+    }
+
+    /// Sets the retry cap.
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+}
+
+/// Terminal state of a supervised fit (the DESIGN.md state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitStatus {
+    /// First attempt succeeded within budget.
+    Ok,
+    /// Succeeded after at least one backoff retry.
+    Retried,
+    /// The model is usable but with a caveat (budget overrun).
+    Degraded,
+    /// No usable model: every attempt failed, or the failure was
+    /// permanent (invalid dataset/config).
+    Failed,
+}
+
+impl FitStatus {
+    /// Short lower-case label for outcome tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            FitStatus::Ok => "ok",
+            FitStatus::Retried => "retried",
+            FitStatus::Degraded => "degraded",
+            FitStatus::Failed => "failed",
+        }
+    }
+}
+
+/// What a supervised fit produced.
+#[derive(Debug, Clone)]
+pub struct FitOutcome {
+    /// Terminal status.
+    pub status: FitStatus,
+    /// Number of fit attempts actually executed (≥ 1).
+    pub attempts: u32,
+    /// Total wall-clock time across attempts.
+    pub elapsed: Duration,
+    /// The failure or degradation reason, when not [`FitStatus::Ok`].
+    pub reason: Option<String>,
+}
+
+impl FitOutcome {
+    /// Whether the model behind this outcome may be scored (everything
+    /// but [`FitStatus::Failed`]).
+    pub fn is_usable(&self) -> bool {
+        self.status != FitStatus::Failed
+    }
+}
+
+/// Stringifies a panic payload (the `&str` / `String` cases cover every
+/// `panic!`/`assert!` in the workspace). Public so harnesses that add
+/// their own `catch_unwind` layers (e.g. around evaluation) report panics
+/// the same way the supervisor does.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Probes a deterministic grid of scores; NaN or +∞ is a
+/// [`CoreError::NonFinite`], a panic while scoring is a
+/// [`CoreError::Panicked`]. `-∞` passes: the workspace convention for
+/// "never recommend this item".
+fn probe_scores(
+    model: &dyn Recommender,
+    train: &InteractionMatrix,
+    config: &SupervisorConfig,
+) -> Result<(), CoreError> {
+    let users = train.num_users().min(config.probe_users);
+    let items = train.num_items().min(model.num_items()).min(config.probe_items);
+    let probed = catch_unwind(AssertUnwindSafe(|| {
+        for u in 0..users {
+            for i in 0..items {
+                let s = model.score(UserId(u as u32), ItemId(i as u32));
+                if s.is_nan() || s == f32::INFINITY {
+                    return Err(CoreError::NonFinite {
+                        context: format!("score(user {u}, item {i}) = {s}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }));
+    match probed {
+        Ok(r) => r,
+        Err(payload) => Err(CoreError::Panicked {
+            message: format!("while scoring: {}", panic_message(payload.as_ref())),
+        }),
+    }
+}
+
+/// Trains `model` under supervision; see the module docs for the policy.
+///
+/// The [`TrainContext`] is constructed *inside* the panic isolation, so
+/// corrupted bundles that trip its debug assertions surface as
+/// [`CoreError::Panicked`] rather than killing the caller.
+///
+/// Retries assume `fit` rebuilds model state from scratch (every model in
+/// the workspace does): after a mid-fit panic the half-written state is
+/// discarded by the next attempt.
+pub fn supervise_fit(
+    model: &mut dyn Recommender,
+    dataset: &KgDataset,
+    train: &InteractionMatrix,
+    config: &SupervisorConfig,
+) -> FitOutcome {
+    let start = Instant::now();
+    let mut attempts = 0u32;
+    let mut last_err: CoreError;
+    loop {
+        attempts += 1;
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let ctx = TrainContext::new(dataset, train);
+            model.fit(&ctx)
+        }));
+        let result = match caught {
+            Ok(r) => r,
+            Err(payload) => Err(CoreError::Panicked { message: panic_message(payload.as_ref()) }),
+        };
+        // A fit that "succeeded" but emits non-finite scores failed too.
+        let failure = match result {
+            Ok(()) => probe_scores(model, train, config).err(),
+            Err(e) => Some(e),
+        };
+        let elapsed = start.elapsed();
+        let over_budget = config.wall_clock_budget.is_some_and(|b| elapsed > b);
+        match failure {
+            None => {
+                let (status, reason) = if over_budget {
+                    let b = config.wall_clock_budget.unwrap_or_default();
+                    (
+                        FitStatus::Degraded,
+                        Some(
+                            CoreError::BudgetExceeded {
+                                elapsed_secs: elapsed.as_secs_f64(),
+                                budget_secs: b.as_secs_f64(),
+                            }
+                            .to_string(),
+                        ),
+                    )
+                } else if attempts == 1 {
+                    (FitStatus::Ok, None)
+                } else {
+                    (FitStatus::Retried, Some(format!("succeeded on attempt {attempts}")))
+                };
+                return FitOutcome { status, attempts, elapsed, reason };
+            }
+            Some(e) => {
+                let retryable = e.is_retryable();
+                last_err = e;
+                if !retryable || attempts > config.max_retries {
+                    break;
+                }
+                if over_budget {
+                    let b = config.wall_clock_budget.unwrap_or_default();
+                    last_err = CoreError::BudgetExceeded {
+                        elapsed_secs: elapsed.as_secs_f64(),
+                        budget_secs: b.as_secs_f64(),
+                    };
+                    break;
+                }
+                // Backoff hook: models without retry knobs replay the same
+                // deterministic failure, so don't bother re-running them.
+                if !model.prepare_retry(attempts) {
+                    break;
+                }
+            }
+        }
+    }
+    FitOutcome {
+        status: FitStatus::Failed,
+        attempts,
+        elapsed: start.elapsed(),
+        reason: Some(last_err.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::{Taxonomy, UsageType};
+    use kgrec_data::Interaction;
+    use kgrec_graph::KgBuilder;
+
+    fn toy_dataset() -> KgDataset {
+        let mut b = KgBuilder::new();
+        let ty = b.entity_type("item");
+        let ents: Vec<_> = (0..4).map(|i| b.entity(&format!("i{i}"), ty)).collect();
+        let attr_ty = b.entity_type("attr");
+        let a = b.entity("a0", attr_ty);
+        let r = b.relation("attr");
+        for &e in &ents {
+            b.triple(e, r, a);
+        }
+        let graph = b.build(true);
+        let inter = InteractionMatrix::from_interactions(
+            3,
+            4,
+            &[
+                Interaction::implicit(UserId(0), ItemId(0)),
+                Interaction::implicit(UserId(1), ItemId(1)),
+                Interaction::implicit(UserId(2), ItemId(2)),
+            ],
+        );
+        KgDataset::new(inter, graph, ents)
+    }
+
+    /// Configurable failure double: panics / errors / NaNs for the first
+    /// `failures` fits, then succeeds. `retryable` controls whether
+    /// `prepare_retry` reports knobs.
+    struct Flaky {
+        failures: u32,
+        fits: u32,
+        mode: Mode,
+        retryable: bool,
+    }
+
+    enum Mode {
+        Panic,
+        NanScores,
+        ConfigError,
+    }
+
+    impl Flaky {
+        fn new(failures: u32, mode: Mode, retryable: bool) -> Self {
+            Self { failures, fits: 0, mode, retryable }
+        }
+    }
+
+    impl Recommender for Flaky {
+        fn name(&self) -> &'static str {
+            "Flaky"
+        }
+        fn taxonomy(&self) -> Taxonomy {
+            Taxonomy {
+                method: "Flaky",
+                venue: "test",
+                year: 2026,
+                usage: UsageType::EmbeddingBased,
+                techniques: &[],
+                reference: 0,
+            }
+        }
+        fn fit(&mut self, _ctx: &TrainContext<'_>) -> Result<(), CoreError> {
+            self.fits += 1;
+            if self.fits <= self.failures {
+                match self.mode {
+                    Mode::Panic => panic!("injected panic on fit {}", self.fits),
+                    Mode::NanScores => {} // fit "succeeds", scores are NaN
+                    Mode::ConfigError => {
+                        return Err(CoreError::InvalidConfig { message: "bad lr".into() })
+                    }
+                }
+            }
+            Ok(())
+        }
+        fn prepare_retry(&mut self, _attempt: u32) -> bool {
+            self.retryable
+        }
+        fn score(&self, _user: UserId, _item: ItemId) -> f32 {
+            if self.fits <= self.failures {
+                f32::NAN
+            } else {
+                1.0
+            }
+        }
+        fn num_items(&self) -> usize {
+            4
+        }
+    }
+
+    fn run(model: &mut dyn Recommender, config: &SupervisorConfig) -> FitOutcome {
+        let ds = toy_dataset();
+        let train = ds.interactions.clone();
+        supervise_fit(model, &ds, &train, config)
+    }
+
+    #[test]
+    fn clean_fit_is_ok() {
+        let mut m = Flaky::new(0, Mode::Panic, true);
+        let o = run(&mut m, &SupervisorConfig::default());
+        assert_eq!(o.status, FitStatus::Ok);
+        assert_eq!(o.attempts, 1);
+        assert!(o.reason.is_none());
+        assert!(o.is_usable());
+    }
+
+    #[test]
+    fn panic_then_success_is_retried() {
+        let mut m = Flaky::new(1, Mode::Panic, true);
+        let o = run(&mut m, &SupervisorConfig::default());
+        assert_eq!(o.status, FitStatus::Retried);
+        assert_eq!(o.attempts, 2);
+        assert!(o.reason.unwrap().contains("attempt 2"));
+    }
+
+    #[test]
+    fn persistent_panic_fails_after_retry_budget() {
+        let mut m = Flaky::new(u32::MAX, Mode::Panic, true);
+        let o = run(&mut m, &SupervisorConfig::default().with_max_retries(2));
+        assert_eq!(o.status, FitStatus::Failed);
+        assert_eq!(o.attempts, 3); // 1 + 2 retries
+        assert!(!o.is_usable());
+        assert!(o.reason.unwrap().contains("injected panic"));
+    }
+
+    #[test]
+    fn no_retry_knobs_means_single_attempt() {
+        let mut m = Flaky::new(u32::MAX, Mode::Panic, false);
+        let o = run(&mut m, &SupervisorConfig::default());
+        assert_eq!(o.status, FitStatus::Failed);
+        assert_eq!(o.attempts, 1);
+    }
+
+    #[test]
+    fn nan_scores_are_caught_by_the_probe() {
+        let mut m = Flaky::new(1, Mode::NanScores, true);
+        let o = run(&mut m, &SupervisorConfig::default());
+        // First fit "succeeds" but probes NaN → retried → clean.
+        assert_eq!(o.status, FitStatus::Retried);
+        assert_eq!(o.attempts, 2);
+    }
+
+    #[test]
+    fn config_errors_are_permanent() {
+        let mut m = Flaky::new(u32::MAX, Mode::ConfigError, true);
+        let o = run(&mut m, &SupervisorConfig::default());
+        assert_eq!(o.status, FitStatus::Failed);
+        assert_eq!(o.attempts, 1, "InvalidConfig must not be retried");
+        assert!(o.reason.unwrap().contains("bad lr"));
+    }
+
+    #[test]
+    fn budget_overrun_after_success_degrades() {
+        struct Slow;
+        impl Recommender for Slow {
+            fn name(&self) -> &'static str {
+                "Slow"
+            }
+            fn taxonomy(&self) -> Taxonomy {
+                Taxonomy {
+                    method: "Slow",
+                    venue: "test",
+                    year: 2026,
+                    usage: UsageType::EmbeddingBased,
+                    techniques: &[],
+                    reference: 0,
+                }
+            }
+            fn fit(&mut self, _ctx: &TrainContext<'_>) -> Result<(), CoreError> {
+                std::thread::sleep(Duration::from_millis(20));
+                Ok(())
+            }
+            fn score(&self, _u: UserId, _i: ItemId) -> f32 {
+                0.0
+            }
+            fn num_items(&self) -> usize {
+                4
+            }
+        }
+        let mut m = Slow;
+        let cfg = SupervisorConfig::default().with_budget(Duration::from_millis(1));
+        let o = run(&mut m, &cfg);
+        assert_eq!(o.status, FitStatus::Degraded);
+        assert!(o.is_usable());
+        assert!(o.reason.unwrap().contains("budget exceeded"));
+    }
+
+    #[test]
+    fn budget_exhaustion_without_success_fails() {
+        struct SlowPanic;
+        impl Recommender for SlowPanic {
+            fn name(&self) -> &'static str {
+                "SlowPanic"
+            }
+            fn taxonomy(&self) -> Taxonomy {
+                Taxonomy {
+                    method: "SlowPanic",
+                    venue: "test",
+                    year: 2026,
+                    usage: UsageType::EmbeddingBased,
+                    techniques: &[],
+                    reference: 0,
+                }
+            }
+            fn fit(&mut self, _ctx: &TrainContext<'_>) -> Result<(), CoreError> {
+                std::thread::sleep(Duration::from_millis(20));
+                panic!("slow and broken");
+            }
+            fn prepare_retry(&mut self, _attempt: u32) -> bool {
+                true
+            }
+            fn score(&self, _u: UserId, _i: ItemId) -> f32 {
+                0.0
+            }
+            fn num_items(&self) -> usize {
+                4
+            }
+        }
+        let mut m = SlowPanic;
+        let cfg =
+            SupervisorConfig::default().with_budget(Duration::from_millis(1)).with_max_retries(10);
+        let o = run(&mut m, &cfg);
+        assert_eq!(o.status, FitStatus::Failed);
+        assert_eq!(o.attempts, 1, "budget must cut the retry loop short");
+        assert!(o.reason.unwrap().contains("budget exceeded"));
+    }
+
+    #[test]
+    fn neg_infinity_scores_are_legal() {
+        struct NeverRecommend;
+        impl Recommender for NeverRecommend {
+            fn name(&self) -> &'static str {
+                "NeverRecommend"
+            }
+            fn taxonomy(&self) -> Taxonomy {
+                Taxonomy {
+                    method: "NeverRecommend",
+                    venue: "test",
+                    year: 2026,
+                    usage: UsageType::EmbeddingBased,
+                    techniques: &[],
+                    reference: 0,
+                }
+            }
+            fn fit(&mut self, _ctx: &TrainContext<'_>) -> Result<(), CoreError> {
+                Ok(())
+            }
+            fn score(&self, _u: UserId, _i: ItemId) -> f32 {
+                f32::NEG_INFINITY
+            }
+            fn num_items(&self) -> usize {
+                4
+            }
+        }
+        let mut m = NeverRecommend;
+        let o = run(&mut m, &SupervisorConfig::default());
+        assert_eq!(o.status, FitStatus::Ok);
+    }
+
+    #[test]
+    fn status_labels_match_state_machine() {
+        assert_eq!(FitStatus::Ok.label(), "ok");
+        assert_eq!(FitStatus::Retried.label(), "retried");
+        assert_eq!(FitStatus::Degraded.label(), "degraded");
+        assert_eq!(FitStatus::Failed.label(), "failed");
+    }
+}

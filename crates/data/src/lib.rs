@@ -17,13 +17,18 @@
 //!   Weibo): configurable size/sparsity with a *planted* topic model so KG
 //!   structure genuinely predicts preference (see `DESIGN.md` §2);
 //! * [`loader`] — TSV loaders for real interaction and triple dumps;
-//! * [`registry`] — the machine-readable contents of Table 4.
+//! * [`registry`] — the machine-readable contents of Table 4;
+//! * [`faults`] — deterministic dataset corruptions ([`faults::Fault`])
+//!   for robustness testing: the fault-matrix suite and
+//!   `eval_suite --inject-fault` drive every model through them under the
+//!   training supervisor.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)] // generator loops index parallel tables
 
 pub mod dataset;
+pub mod faults;
 pub mod ids;
 pub mod interactions;
 pub mod loader;
@@ -33,6 +38,7 @@ pub mod split;
 pub mod synth;
 
 pub use dataset::KgDataset;
+pub use faults::{inject, Fault};
 pub use ids::{ItemId, UserId};
 pub use interactions::{Interaction, InteractionMatrix};
 pub use synth::{ScenarioConfig, SyntheticDataset};

@@ -9,8 +9,10 @@
 //!
 //! The shared [`KgeModel`] trait exposes plausibility scoring and the
 //! learned embeddings; [`trainer`] provides the negative-sampling margin /
-//! logistic training loop; [`eval`] implements filtered link-prediction
-//! metrics (MR, MRR, Hits@K).
+//! logistic training loop — plain ([`trainer::train`]), observable
+//! ([`trainer::train_with`]), and guarded against loss divergence with
+//! last-good snapshot rollback ([`trainer::train_guarded`]); [`eval`]
+//! implements filtered link-prediction metrics (MR, MRR, Hits@K).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,7 +30,9 @@ pub mod transr;
 
 pub use distmult::DistMult;
 pub use model::KgeModel;
-pub use trainer::{train, TrainConfig};
+pub use trainer::{
+    train, train_guarded, train_with, EpochStats, GuardedReport, TrainConfig, TrainControl,
+};
 pub use transd::TransD;
 pub use transe::TransE;
 pub use transh::TransH;

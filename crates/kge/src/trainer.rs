@@ -9,6 +9,7 @@
 
 use crate::model::KgeModel;
 use kgrec_graph::{EntityId, KnowledgeGraph, Triple};
+use kgrec_linalg::stability::{DivergencePolicy, LossMonitor, LossVerdict};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -32,6 +33,13 @@ impl Default for TrainConfig {
 
 /// Draws a corruption of `triple` that is not a known fact, replacing the
 /// head or the tail with probability ½ each.
+///
+/// In the dense pathological case (32 filtered draws all hit known facts)
+/// the filter is dropped but the corruption is still guaranteed to differ
+/// from `triple`: the replacement tail is drawn from the non-zero offsets
+/// of the original, so a negative can never alias its positive. The one
+/// irreducible degenerate case is a single-entity graph, where no
+/// distinct corruption exists and the original is returned.
 pub fn corrupt<R: Rng + ?Sized>(graph: &KnowledgeGraph, triple: Triple, rng: &mut R) -> Triple {
     let n = graph.num_entities() as u32;
     for _ in 0..32 {
@@ -44,13 +52,53 @@ pub fn corrupt<R: Rng + ?Sized>(graph: &KnowledgeGraph, triple: Triple, rng: &mu
             return cand;
         }
     }
-    // Dense pathological case: accept an unfiltered corruption.
-    Triple::new(triple.head, triple.rel, EntityId(rng.gen_range(0..n)))
+    // Dense pathological case: accept an unfiltered corruption, excluding
+    // the original tail by sampling an offset in [1, n).
+    if n < 2 {
+        return triple;
+    }
+    let tail = EntityId((triple.tail.0 + rng.gen_range(1..n)) % n);
+    Triple::new(triple.head, triple.rel, tail)
 }
 
-/// Trains `model` on every triple of `graph` for `config.epochs` epochs.
-/// Returns the mean per-pair loss of each epoch (a monitoring curve).
-pub fn train<M: KgeModel>(model: &mut M, graph: &KnowledgeGraph, config: &TrainConfig) -> Vec<f32> {
+/// Per-epoch training statistics handed to [`train_with`] observers.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochStats {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Mean per-pair loss of the epoch.
+    pub mean_loss: f32,
+}
+
+/// Observer decision after each epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainControl {
+    /// Keep training.
+    Continue,
+    /// Stop before the next epoch (early stop / divergence abort).
+    Stop,
+}
+
+/// Trains `model` on every triple of `graph` for up to `config.epochs`
+/// epochs, invoking `on_epoch` after each epoch with the model and the
+/// epoch's statistics. Returning [`TrainControl::Stop`] ends training
+/// early. Returns the mean per-pair loss curve of the epochs that ran.
+///
+/// The observer receives `&mut M` so supervision layers can snapshot or
+/// roll back parameters between epochs (see [`train_guarded`]).
+///
+/// # Panics
+/// Panics if the model is sized for fewer entities than the graph.
+pub fn train_with<M, F>(
+    model: &mut M,
+    graph: &KnowledgeGraph,
+    config: &TrainConfig,
+    mut on_epoch: F,
+) -> Vec<f32>
+where
+    M: KgeModel,
+    F: FnMut(&mut M, &EpochStats) -> TrainControl,
+{
     assert!(
         model.num_entities() >= graph.num_entities(),
         "train: model sized for fewer entities than the graph"
@@ -58,7 +106,7 @@ pub fn train<M: KgeModel>(model: &mut M, graph: &KnowledgeGraph, config: &TrainC
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut order: Vec<usize> = (0..graph.num_triples()).collect();
     let mut curve = Vec::with_capacity(config.epochs);
-    for _ in 0..config.epochs {
+    for epoch in 0..config.epochs {
         // Fresh shuffle per epoch.
         for i in (1..order.len()).rev() {
             let j = rng.gen_range(0..=i);
@@ -72,9 +120,98 @@ pub fn train<M: KgeModel>(model: &mut M, graph: &KnowledgeGraph, config: &TrainC
         }
         model.post_epoch();
         let denom = order.len().max(1) as f64;
-        curve.push((total / denom) as f32);
+        let mean_loss = (total / denom) as f32;
+        curve.push(mean_loss);
+        if on_epoch(model, &EpochStats { epoch, mean_loss }) == TrainControl::Stop {
+            break;
+        }
     }
     curve
+}
+
+/// Trains `model` on every triple of `graph` for `config.epochs` epochs.
+/// Returns the mean per-pair loss of each epoch (a monitoring curve).
+pub fn train<M: KgeModel>(model: &mut M, graph: &KnowledgeGraph, config: &TrainConfig) -> Vec<f32> {
+    train_with(model, graph, config, |_, _| TrainControl::Continue)
+}
+
+/// What [`train_guarded`] did.
+#[derive(Debug, Clone)]
+pub struct GuardedReport {
+    /// Mean per-pair loss of every epoch that ran (includes the epoch
+    /// that tripped the monitor, when one did).
+    pub curve: Vec<f32>,
+    /// Epoch at which the monitor aborted training, if it did.
+    pub aborted_at: Option<usize>,
+    /// Whether the model was rolled back to the last-good snapshot.
+    pub rolled_back: bool,
+    /// Human-readable abort reason when `aborted_at` is set.
+    pub reason: Option<String>,
+}
+
+impl GuardedReport {
+    /// Whether training ran to completion without tripping the monitor.
+    pub fn completed(&self) -> bool {
+        self.aborted_at.is_none()
+    }
+
+    /// Whether the final parameters are usable: either training completed,
+    /// or it aborted but was rolled back to a healthy snapshot.
+    pub fn usable(&self) -> bool {
+        self.completed() || self.rolled_back
+    }
+}
+
+/// Trains under a [`LossMonitor`]: each epoch's mean loss is checked for
+/// NaN/∞ and divergence, parameters are snapshotted at every
+/// loss-improving epoch, and on abort the model is rolled back to the
+/// last-good snapshot (when one exists — a first-epoch explosion leaves
+/// nothing to roll back to, and `usable()` reports it).
+pub fn train_guarded<M: KgeModel + Clone>(
+    model: &mut M,
+    graph: &KnowledgeGraph,
+    config: &TrainConfig,
+    policy: DivergencePolicy,
+) -> GuardedReport {
+    let mut monitor = LossMonitor::new(policy);
+    let mut snapshot: Option<M> = None;
+    let mut abort: Option<(usize, LossVerdict, f32)> = None;
+    let curve = train_with(model, graph, config, |m, stats| {
+        match monitor.observe(stats.mean_loss) {
+            LossVerdict::Healthy => {
+                // `best_loss` equals this epoch's loss exactly when the
+                // epoch improved on (or tied) every loss before it.
+                if monitor.best_loss() == Some(stats.mean_loss) {
+                    snapshot = Some(m.clone());
+                }
+                TrainControl::Continue
+            }
+            verdict => {
+                abort = Some((stats.epoch, verdict, stats.mean_loss));
+                TrainControl::Stop
+            }
+        }
+    });
+    let mut rolled_back = false;
+    let (aborted_at, reason) = match abort {
+        None => (None, None),
+        Some((epoch, verdict, loss)) => {
+            if let Some(s) = snapshot {
+                *model = s;
+                rolled_back = true;
+            }
+            let why = match verdict {
+                LossVerdict::NonFinite => format!("non-finite epoch loss {loss}"),
+                LossVerdict::Diverging => match monitor.best_loss() {
+                    Some(best) => format!("loss {loss} diverged from best {best}"),
+                    None => format!("loss {loss} above the divergence ceiling"),
+                },
+                LossVerdict::Healthy => unreachable!("healthy verdicts never abort"),
+            };
+            (Some(epoch), Some(why))
+        }
+    };
+    GuardedReport { curve, aborted_at, rolled_back, reason }
 }
 
 #[cfg(test)]
@@ -160,5 +297,167 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let mut m = TransE::new(&mut rng, 2, 1, 4, 1.0);
         train(&mut m, &g, &TrainConfig::default());
+    }
+
+    /// A graph where *every* (head, rel, tail) combination is a fact, so
+    /// filtered corruption always fails and the dense fallback runs.
+    fn complete_graph(n: usize) -> KnowledgeGraph {
+        let mut b = KgBuilder::new();
+        let ty = b.entity_type("t");
+        let es: Vec<_> = (0..n).map(|i| b.entity(&format!("e{i}"), ty)).collect();
+        let r = b.relation("r");
+        for &h in &es {
+            for &t in &es {
+                b.triple(h, r, t);
+            }
+        }
+        b.build(false)
+    }
+
+    #[test]
+    fn dense_fallback_never_returns_the_original_triple() {
+        // Regression: the old fallback re-sampled the tail uniformly and
+        // could alias the positive, training the model to push a fact
+        // away from itself.
+        let g = complete_graph(3);
+        let mut rng = StdRng::seed_from_u64(11);
+        for &pos in g.triples() {
+            for _ in 0..200 {
+                let neg = corrupt(&g, pos, &mut rng);
+                assert_ne!(neg, pos, "fallback corruption aliased the positive {pos:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_entity_graph_degenerates_to_identity() {
+        let g = complete_graph(1);
+        let mut rng = StdRng::seed_from_u64(12);
+        let pos = g.triples()[0];
+        // No distinct corruption exists; the degenerate original comes
+        // back instead of an out-of-range entity id.
+        assert_eq!(corrupt(&g, pos, &mut rng), pos);
+    }
+
+    #[test]
+    fn observer_can_stop_early() {
+        let g = toy_graph();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut m = TransE::new(&mut rng, g.num_entities(), g.num_relations(), 8, 1.0);
+        let cfg = TrainConfig { epochs: 30, learning_rate: 0.05, seed: 14 };
+        let curve = train_with(&mut m, &g, &cfg, |_, stats| {
+            if stats.epoch >= 4 {
+                TrainControl::Stop
+            } else {
+                TrainControl::Continue
+            }
+        });
+        assert_eq!(curve.len(), 5, "stopped after the 5th epoch");
+    }
+
+    #[test]
+    fn guarded_healthy_run_completes_without_rollback() {
+        let g = toy_graph();
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut m = TransE::new(&mut rng, g.num_entities(), g.num_relations(), 8, 1.0);
+        let cfg = TrainConfig { epochs: 20, learning_rate: 0.05, seed: 16 };
+        let report = train_guarded(&mut m, &g, &cfg, DivergencePolicy::default());
+        assert!(report.completed());
+        assert!(report.usable());
+        assert!(!report.rolled_back);
+        assert_eq!(report.curve.len(), 20);
+    }
+
+    /// Scripted-loss mock: returns `script[epoch]` from every
+    /// `train_pair` and mutates a state marker each epoch, so rollback is
+    /// observable.
+    #[derive(Clone)]
+    struct Scripted {
+        script: Vec<f32>,
+        pairs_per_epoch: usize,
+        pairs_seen: usize,
+        state: Vec<f32>,
+    }
+
+    impl KgeModel for Scripted {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn num_entities(&self) -> usize {
+            1024
+        }
+        fn num_relations(&self) -> usize {
+            8
+        }
+        fn score(&self, _h: EntityId, _r: kgrec_graph::RelationId, _t: EntityId) -> f32 {
+            0.0
+        }
+        fn entity_embedding(&self, _e: EntityId) -> &[f32] {
+            &self.state
+        }
+        fn relation_embedding(&self, _r: kgrec_graph::RelationId) -> &[f32] {
+            &self.state
+        }
+        fn train_pair(&mut self, _pos: Triple, _neg: Triple, _lr: f32) -> f32 {
+            let epoch = self.pairs_seen / self.pairs_per_epoch;
+            self.pairs_seen += 1;
+            self.state[0] = epoch as f32;
+            self.script[epoch.min(self.script.len() - 1)]
+        }
+        fn name(&self) -> &'static str {
+            "Scripted"
+        }
+    }
+
+    fn scripted(g: &KnowledgeGraph, script: &[f32]) -> Scripted {
+        Scripted {
+            script: script.to_vec(),
+            pairs_per_epoch: g.num_triples(),
+            pairs_seen: 0,
+            state: vec![-1.0],
+        }
+    }
+
+    #[test]
+    fn guarded_rolls_back_to_last_good_epoch_on_divergence() {
+        let g = toy_graph();
+        // Improves through epoch 2, then explodes. patience=2 aborts at
+        // epoch 4 (two consecutive epochs above 4× best=0.2).
+        let script = [1.0, 0.5, 0.2, 50.0, 60.0, 70.0];
+        let mut m = scripted(&g, &script);
+        let cfg = TrainConfig { epochs: script.len(), learning_rate: 0.1, seed: 17 };
+        let policy = DivergencePolicy { factor: 4.0, patience: 2, max_loss: 1e6 };
+        let report = train_guarded(&mut m, &g, &cfg, policy);
+        assert_eq!(report.aborted_at, Some(4));
+        assert!(report.rolled_back);
+        assert!(report.usable());
+        // Rolled back to the snapshot taken after epoch 2 (the best).
+        assert_eq!(m.state[0], 2.0, "state must be the epoch-2 snapshot");
+        assert!(report.reason.unwrap().contains("diverged"));
+    }
+
+    #[test]
+    fn guarded_aborts_on_nan_loss_immediately() {
+        let g = toy_graph();
+        let script = [0.8, f32::NAN, 0.1];
+        let mut m = scripted(&g, &script);
+        let cfg = TrainConfig { epochs: script.len(), learning_rate: 0.1, seed: 18 };
+        let report = train_guarded(&mut m, &g, &cfg, DivergencePolicy::default());
+        assert_eq!(report.aborted_at, Some(1));
+        assert!(report.rolled_back, "epoch 0 was healthy, so a snapshot exists");
+        assert_eq!(m.state[0], 0.0);
+        assert!(report.reason.unwrap().contains("non-finite"));
+    }
+
+    #[test]
+    fn guarded_first_epoch_explosion_is_unusable() {
+        let g = toy_graph();
+        let script = [f32::INFINITY];
+        let mut m = scripted(&g, &script);
+        let cfg = TrainConfig { epochs: 5, learning_rate: 0.1, seed: 19 };
+        let report = train_guarded(&mut m, &g, &cfg, DivergencePolicy::default());
+        assert_eq!(report.aborted_at, Some(0));
+        assert!(!report.rolled_back, "no healthy snapshot exists");
+        assert!(!report.usable());
     }
 }

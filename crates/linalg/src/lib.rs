@@ -16,6 +16,8 @@
 //!   backward passes;
 //! * [`rnn`] — a vanilla recurrent cell with full back-propagation through
 //!   time, used by the path-encoding recommenders (RKGE / KPRN style);
+//! * [`stability`] — online loss-curve monitoring ([`stability::LossMonitor`]):
+//!   NaN/∞ and divergence detection feeding the training supervisor;
 //! * [`gradcheck`] — finite-difference gradient checking used throughout the
 //!   test suites to validate every hand-derived gradient.
 //!
@@ -35,9 +37,11 @@ pub mod matrix;
 pub mod nn;
 pub mod optim;
 pub mod rnn;
+pub mod stability;
 pub mod vector;
 
 pub use embedding::EmbeddingTable;
 pub use matrix::Matrix;
 pub use nn::{Activation, Dense, Mlp};
 pub use optim::{Adagrad, Adam, Optimizer, Sgd};
+pub use stability::{DivergencePolicy, LossMonitor, LossVerdict};

@@ -79,6 +79,12 @@ impl Recommender for BprMf {
         baseline_taxonomy("BPR-MF")
     }
 
+    fn prepare_retry(&mut self, attempt: u32) -> bool {
+        self.config.learning_rate *= 0.5;
+        self.config.seed = self.config.seed.wrapping_add(u64::from(attempt)).wrapping_mul(31);
+        true
+    }
+
     fn fit(&mut self, ctx: &TrainContext<'_>) -> Result<(), CoreError> {
         if self.config.dim == 0 {
             return Err(CoreError::InvalidConfig { message: "dim must be positive".into() });

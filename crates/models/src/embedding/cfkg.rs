@@ -10,7 +10,8 @@ use crate::common::taxonomy_of;
 use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::dataset::UserItemGraph;
 use kgrec_data::{ItemId, UserId};
-use kgrec_kge::{train, KgeModel, TrainConfig, TransE};
+use kgrec_kge::{train_guarded, KgeModel, TrainConfig, TransE};
+use kgrec_linalg::DivergencePolicy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -86,7 +87,7 @@ impl Recommender for Cfkg {
             self.config.dim,
             self.config.margin,
         );
-        train(
+        let report = train_guarded(
             &mut kge,
             &uig.graph,
             &TrainConfig {
@@ -94,9 +95,22 @@ impl Recommender for Cfkg {
                 learning_rate: self.config.learning_rate,
                 seed: self.config.seed.wrapping_add(1),
             },
+            DivergencePolicy::default(),
         );
+        if !report.usable() {
+            return Err(CoreError::Diverged {
+                epoch: report.aborted_at.unwrap_or(0),
+                detail: report.reason.unwrap_or_else(|| "training aborted".into()),
+            });
+        }
         self.state = Some(Fitted { kge, uig });
         Ok(())
+    }
+
+    fn prepare_retry(&mut self, attempt: u32) -> bool {
+        self.config.learning_rate *= 0.5;
+        self.config.seed = self.config.seed.wrapping_add(u64::from(attempt)).wrapping_mul(31);
+        true
     }
 
     fn score(&self, user: UserId, item: ItemId) -> f32 {

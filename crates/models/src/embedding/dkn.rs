@@ -169,6 +169,12 @@ impl Recommender for DknLite {
         taxonomy_of("DKN")
     }
 
+    fn prepare_retry(&mut self, attempt: u32) -> bool {
+        self.config.learning_rate *= 0.5;
+        self.config.seed = self.config.seed.wrapping_add(u64::from(attempt)).wrapping_mul(31);
+        true
+    }
+
     fn fit(&mut self, ctx: &TrainContext<'_>) -> Result<(), CoreError> {
         let words = ctx.dataset.item_words.as_ref().ok_or_else(|| CoreError::InvalidDataset {
             message: "DKN requires per-item token lists (news titles)".into(),

@@ -14,7 +14,8 @@ use kgrec_core::taxonomy::Taxonomy;
 use kgrec_core::{CoreError, Recommender, TrainContext};
 use kgrec_data::dataset::UserItemGraph;
 use kgrec_data::{ItemId, UserId};
-use kgrec_kge::{train, DistMult, KgeModel, TrainConfig, TransD, TransE, TransH, TransR};
+use kgrec_kge::{train_guarded, DistMult, KgeModel, TrainConfig, TransD, TransE, TransH, TransR};
+use kgrec_linalg::DivergencePolicy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -139,77 +140,55 @@ impl Recommender for KgeRecommender {
         let r = uig.graph.num_relations().max(1);
         let dim = self.config.dim;
         let margin = self.config.margin;
-        let mut model: Box<dyn KgeModel + Send> = match self.config.backend {
-            KgeBackend::TransE => Box::new(TransE::new(&mut rng, n, r, dim, margin)),
-            KgeBackend::TransH => Box::new(TransH::new(&mut rng, n, r, dim, margin)),
-            KgeBackend::TransR => Box::new(TransR::new(&mut rng, n, r, dim, dim, margin)),
-            KgeBackend::TransD => Box::new(TransD::new(&mut rng, n, r, dim, margin)),
-            KgeBackend::DistMult => Box::new(DistMult::new(&mut rng, n, r, dim)),
+        // TransR's per-relation projection matrices amplify the effective
+        // step size (the gradient is second-order in the parameters); a
+        // measured lr sweep shows it diverges at the rate the
+        // vector-translation models train well at, so it gets a quarter of
+        // the configured rate.
+        let lr = match self.config.backend {
+            KgeBackend::TransR => self.config.learning_rate / 4.0,
+            _ => self.config.learning_rate,
         };
-        // The generic trainer is monomorphic; drive it through a shim.
-        struct Shim<'a>(&'a mut (dyn KgeModel + Send));
-        impl KgeModel for Shim<'_> {
-            fn dim(&self) -> usize {
-                self.0.dim()
-            }
-            fn num_entities(&self) -> usize {
-                self.0.num_entities()
-            }
-            fn num_relations(&self) -> usize {
-                self.0.num_relations()
-            }
-            fn score(
-                &self,
-                h: kgrec_graph::EntityId,
-                r: kgrec_graph::RelationId,
-                t: kgrec_graph::EntityId,
-            ) -> f32 {
-                self.0.score(h, r, t)
-            }
-            fn entity_embedding(&self, e: kgrec_graph::EntityId) -> &[f32] {
-                self.0.entity_embedding(e)
-            }
-            fn relation_embedding(&self, r: kgrec_graph::RelationId) -> &[f32] {
-                self.0.relation_embedding(r)
-            }
-            fn train_pair(
-                &mut self,
-                pos: kgrec_graph::Triple,
-                neg: kgrec_graph::Triple,
-                lr: f32,
-            ) -> f32 {
-                self.0.train_pair(pos, neg, lr)
-            }
-            fn post_epoch(&mut self) {
-                self.0.post_epoch();
-            }
-            fn name(&self) -> &'static str {
-                self.0.name()
+        let cfg = TrainConfig {
+            epochs: self.config.epochs,
+            learning_rate: lr,
+            seed: self.config.seed.wrapping_add(1),
+        };
+        // Guarded training needs a concrete `Clone` type for snapshot /
+        // rollback, so the trainer runs monomorphically per backend and
+        // the result is boxed afterwards.
+        fn run<M: KgeModel + Clone + Send + 'static>(
+            mut m: M,
+            graph: &kgrec_graph::KnowledgeGraph,
+            cfg: &TrainConfig,
+        ) -> Result<Box<dyn KgeModel + Send>, CoreError> {
+            let report = train_guarded(&mut m, graph, cfg, DivergencePolicy::default());
+            if report.usable() {
+                Ok(Box::new(m))
+            } else {
+                Err(CoreError::Diverged {
+                    epoch: report.aborted_at.unwrap_or(0),
+                    detail: report.reason.unwrap_or_else(|| "training aborted".into()),
+                })
             }
         }
-        {
-            let mut shim = Shim(model.as_mut());
-            // TransR's per-relation projection matrices amplify the
-            // effective step size (the gradient is second-order in the
-            // parameters); a measured lr sweep shows it diverges at the
-            // rate the vector-translation models train well at, so it
-            // gets a quarter of the configured rate.
-            let lr = match self.config.backend {
-                KgeBackend::TransR => self.config.learning_rate / 4.0,
-                _ => self.config.learning_rate,
-            };
-            train(
-                &mut shim,
-                &uig.graph,
-                &TrainConfig {
-                    epochs: self.config.epochs,
-                    learning_rate: lr,
-                    seed: self.config.seed.wrapping_add(1),
-                },
-            );
-        }
+        let model = match self.config.backend {
+            KgeBackend::TransE => run(TransE::new(&mut rng, n, r, dim, margin), &uig.graph, &cfg),
+            KgeBackend::TransH => run(TransH::new(&mut rng, n, r, dim, margin), &uig.graph, &cfg),
+            KgeBackend::TransR => {
+                run(TransR::new(&mut rng, n, r, dim, dim, margin), &uig.graph, &cfg)
+            }
+            KgeBackend::TransD => run(TransD::new(&mut rng, n, r, dim, margin), &uig.graph, &cfg),
+            KgeBackend::DistMult => run(DistMult::new(&mut rng, n, r, dim), &uig.graph, &cfg),
+        }?;
         self.state = Some((model, uig));
         Ok(())
+    }
+
+    fn prepare_retry(&mut self, attempt: u32) -> bool {
+        self.config.learning_rate *= 0.5;
+        self.config.seed = self.config.seed.wrapping_add(u64::from(attempt)).wrapping_mul(31);
+        true
     }
 
     fn score(&self, user: UserId, item: ItemId) -> f32 {

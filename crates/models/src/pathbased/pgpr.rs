@@ -113,6 +113,12 @@ impl Recommender for PgprLite {
         taxonomy_of("PGPR")
     }
 
+    fn prepare_retry(&mut self, attempt: u32) -> bool {
+        self.config.learning_rate *= 0.5;
+        self.config.seed = self.config.seed.wrapping_add(u64::from(attempt)).wrapping_mul(31);
+        true
+    }
+
     fn fit(&mut self, ctx: &TrainContext<'_>) -> Result<(), CoreError> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let uig = ctx.dataset.user_item_graph(ctx.train);

@@ -73,7 +73,11 @@ impl SemRec {
                 let items = train.items_of(neighbor);
                 let idx = items.binary_search(&item).expect("contains checked");
                 let r = train.ratings_of(neighbor)[idx];
-                num += s * if r.is_nan() { 1.0 } else { r / 5.0 };
+                // Workspace convention (`kgrec_linalg::vector::finite_or`):
+                // NaN marks an implicit interaction, so any non-finite
+                // feedback — the sentinel itself or a corrupted rating —
+                // degrades to the unweighted link value 1.
+                num += s * vector::finite_or(r / 5.0, 1.0);
             }
         }
         if den > 0.0 {

@@ -516,6 +516,12 @@ impl Recommender for Kgcn {
         taxonomy_of(if self.config.ls_weight > 0.0 { "KGCN-LS" } else { "KGCN" })
     }
 
+    fn prepare_retry(&mut self, attempt: u32) -> bool {
+        self.config.learning_rate *= 0.5;
+        self.config.seed = self.config.seed.wrapping_add(u64::from(attempt)).wrapping_mul(31);
+        true
+    }
+
     fn fit(&mut self, ctx: &TrainContext<'_>) -> Result<(), CoreError> {
         if self.config.hops == 0 {
             return Err(CoreError::InvalidConfig { message: "hops must be positive".into() });

@@ -16,4 +16,8 @@ cargo test --workspace -q
 echo "== kglint --strict (all synthetic scenarios)"
 cargo run --release -p kgrec-check --bin kglint -- --strict
 
+echo "== eval_suite fault drill (graceful degradation smoke)"
+cargo run --release -p kgrec-bench --bin eval_suite -- --quick --inject-fault \
+  | tail -n 3
+
 echo "OK: all checks passed"
