@@ -1,0 +1,252 @@
+//! Performance trajectory recording: per-model phase timings and
+//! suite-level throughput, serialized to `BENCH_eval.json`.
+//!
+//! `eval_suite --bench` is the writer; each run is one point in the
+//! repo's perf trajectory (the ROADMAP's "as fast as the hardware
+//! allows" north star needs a recorded baseline to regress against).
+//! The JSON is hand-rolled — the workspace is dependency-free by
+//! constraint — and deliberately flat so `jq`/CI diffing stays trivial.
+//!
+//! Timings are wall-clock and therefore machine- and load-dependent;
+//! everything else in the file (model set, scenarios, row counts) is
+//! deterministic. Consumers must treat `*_secs` fields as indicative,
+//! not comparable across machines.
+
+use crate::{ModelReport, PhaseTimings};
+use std::io::Write;
+use std::path::Path;
+
+/// Default output path, relative to the invocation directory.
+pub const BENCH_PATH: &str = "BENCH_eval.json";
+
+/// One (model × scenario) timing entry.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Model name.
+    pub model: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Supervisor outcome label (`ok` / `retried` / `degraded` / `failed`).
+    pub outcome: String,
+    /// Phase timings and row counts for this cell.
+    pub timings: PhaseTimings,
+}
+
+impl BenchEntry {
+    /// Builds the entry for one evaluated model.
+    pub fn from_report(scenario: &str, report: &ModelReport) -> Self {
+        Self {
+            model: report.model.to_owned(),
+            scenario: scenario.to_owned(),
+            outcome: report.outcome.status.label().to_owned(),
+            timings: report.timings,
+        }
+    }
+}
+
+/// The suite-level benchmark report.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Worker threads the measured run used.
+    pub threads: usize,
+    /// Wall-clock seconds of the measured (possibly parallel) run.
+    pub wall_secs: f64,
+    /// Wall-clock seconds of the single-threaded comparison run, when one
+    /// was taken.
+    pub serial_wall_secs: Option<f64>,
+    /// Evaluation rows (ranked users + scored CTR pairs) per wall-clock
+    /// second of the measured run.
+    pub rows_per_sec: f64,
+    /// Number of scenarios covered.
+    pub scenarios: usize,
+    /// Per-(model × scenario) entries.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Assembles a report from per-scenario model reports.
+    ///
+    /// `runs` pairs each scenario name with its reports; `wall_secs` is
+    /// the measured wall-clock of the whole evaluation pass.
+    pub fn new(runs: &[(String, Vec<ModelReport>)], threads: usize, wall_secs: f64) -> Self {
+        let entries: Vec<BenchEntry> = runs
+            .iter()
+            .flat_map(|(scenario, reports)| {
+                reports.iter().map(move |r| BenchEntry::from_report(scenario, r))
+            })
+            .collect();
+        let rows: usize =
+            entries.iter().map(|e| e.timings.users_ranked + e.timings.pairs_scored).sum();
+        let rows_per_sec = if wall_secs > 0.0 { rows as f64 / wall_secs } else { 0.0 };
+        Self {
+            threads,
+            wall_secs,
+            serial_wall_secs: None,
+            rows_per_sec,
+            scenarios: runs.len(),
+            entries,
+        }
+    }
+
+    /// Records the single-threaded comparison wall-clock.
+    pub fn with_serial_baseline(mut self, serial_wall_secs: f64) -> Self {
+        self.serial_wall_secs = Some(serial_wall_secs);
+        self
+    }
+
+    /// Speedup of the measured run over the serial baseline (> 1 means
+    /// the pool won), when a baseline was recorded.
+    pub fn speedup(&self) -> Option<f64> {
+        self.serial_wall_secs.filter(|_| self.wall_secs > 0.0).map(|serial| serial / self.wall_secs)
+    }
+
+    /// Renders the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"generator\": \"eval_suite --bench\",\n");
+        s.push_str(&format!("  \"threads\": {},\n", self.threads));
+        s.push_str(&format!("  \"wall_secs\": {},\n", json_f64(self.wall_secs)));
+        match self.serial_wall_secs {
+            Some(v) => s.push_str(&format!("  \"serial_wall_secs\": {},\n", json_f64(v))),
+            None => s.push_str("  \"serial_wall_secs\": null,\n"),
+        }
+        match self.speedup() {
+            Some(v) => s.push_str(&format!("  \"speedup_vs_serial\": {},\n", json_f64(v))),
+            None => s.push_str("  \"speedup_vs_serial\": null,\n"),
+        }
+        s.push_str(&format!("  \"rows_per_sec\": {},\n", json_f64(self.rows_per_sec)));
+        s.push_str(&format!("  \"scenarios\": {},\n", self.scenarios));
+        s.push_str("  \"models\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let t = &e.timings;
+            s.push_str(&format!(
+                "    {{\"model\": {}, \"scenario\": {}, \"outcome\": {}, \
+                 \"fit_secs\": {}, \"score_secs\": {}, \"rank_secs\": {}, \
+                 \"pairs_scored\": {}, \"users_ranked\": {}}}{}\n",
+                json_str(&e.model),
+                json_str(&e.scenario),
+                json_str(&e.outcome),
+                json_f64(t.fit_secs),
+                json_f64(t.score_secs),
+                json_f64(t.rank_secs),
+                t.pairs_scored,
+                t.users_ranked,
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Writes the JSON document to `path`.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+}
+
+/// JSON-safe float: finite values print as-is, non-finite ones (a model
+/// bug upstream, but the report must never be invalid JSON) become null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Minimal JSON string escaping — model/scenario names are ASCII today,
+/// but a future name must not be able to corrupt the document.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgrec_core::{FitOutcome, FitStatus};
+    use std::time::Duration;
+
+    fn fake_report(model: &'static str, users: usize, pairs: usize) -> ModelReport {
+        ModelReport {
+            model,
+            family: "baseline".into(),
+            outcome: FitOutcome {
+                status: FitStatus::Ok,
+                attempts: 1,
+                elapsed: Duration::from_millis(10),
+                reason: None,
+            },
+            row: None,
+            timings: PhaseTimings {
+                fit_secs: 0.01,
+                score_secs: 0.002,
+                rank_secs: 0.005,
+                pairs_scored: pairs,
+                users_ranked: users,
+            },
+        }
+    }
+
+    #[test]
+    fn report_counts_rows_and_speedup() {
+        let runs = vec![
+            ("tiny".to_owned(), vec![fake_report("A", 30, 100), fake_report("B", 30, 100)]),
+            ("tiny(x0.30)".to_owned(), vec![fake_report("A", 10, 40)]),
+        ];
+        let report = BenchReport::new(&runs, 4, 2.0).with_serial_baseline(6.0);
+        assert_eq!(report.entries.len(), 3);
+        assert_eq!(report.scenarios, 2);
+        assert_eq!(report.rows_per_sec, f64::from(30 + 100 + 30 + 100 + 10 + 40) / 2.0);
+        assert_eq!(report.speedup(), Some(3.0));
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let runs = vec![("tiny".to_owned(), vec![fake_report("Most\"Pop", 5, 10)])];
+        let json = BenchReport::new(&runs, 2, 0.5).to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"threads\": 2"));
+        assert!(json.contains("\"speedup_vs_serial\": null"));
+        assert!(json.contains("Most\\\"Pop"), "quotes must be escaped: {json}");
+    }
+
+    #[test]
+    fn non_finite_timings_stay_valid_json() {
+        let mut r = fake_report("A", 1, 1);
+        r.timings.fit_secs = f64::NAN;
+        let runs = vec![("tiny".to_owned(), vec![r])];
+        let json = BenchReport::new(&runs, 1, 1.0).to_json();
+        assert!(json.contains("\"fit_secs\": null"));
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn write_to_round_trips() {
+        let dir = std::env::temp_dir().join("kgrec_bench_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(BENCH_PATH);
+        let runs = vec![("tiny".to_owned(), vec![fake_report("A", 2, 3)])];
+        let report = BenchReport::new(&runs, 1, 1.0);
+        report.write_to(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, report.to_json());
+        std::fs::remove_file(&path).ok();
+    }
+}

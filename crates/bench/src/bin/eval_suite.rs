@@ -12,32 +12,120 @@
 //!
 //! Every model trains under the supervisor, so a panicking or diverging
 //! model becomes a `failed` row in the outcome table instead of killing
-//! the run.
+//! the run. Models are sharded across the deterministic worker pool —
+//! metrics are bit-identical for every `--threads` value, and a worker
+//! panic poisons exactly one model's row.
 //!
 //! Usage:
 //! `cargo run --release -p kgrec-bench --bin eval_suite -- [--quick]
-//! [--inject-fault[=<label>]]`
+//! [--threads N] [--bench] [--no-timing] [--inject-fault[=<label>]]`
 //!
-//! `--inject-fault` is the graceful-degradation drill: it appends the
-//! deliberately broken models of [`kgrec_bench::doubles`] to the roster
-//! and, when a label is given (e.g. `--inject-fault=nan-ratings`, see
-//! [`kgrec_data::Fault`]), also corrupts every scenario bundle with that
-//! dataset fault before splitting. The suite must still finish all
-//! scenarios and report the casualties in the outcome summary.
+//! * `--threads N` — worker count (default: `KGREC_THREADS`, then
+//!   `available_parallelism`);
+//! * `--bench` — also run a single-threaded comparison pass and write
+//!   wall-clock / throughput / per-model phase timings to
+//!   `BENCH_eval.json`;
+//! * `--no-timing` — print `-` in wall-clock columns so stdout is
+//!   byte-identical across runs, machines and thread counts (used by the
+//!   golden regression test and the CI 1-vs-4-thread diff);
+//! * `--inject-fault` — the graceful-degradation drill: appends the
+//!   deliberately broken models of [`kgrec_bench::doubles`] to the roster
+//!   and, when a label is given (e.g. `--inject-fault=nan-ratings`, see
+//!   [`kgrec_data::Fault`]), also corrupts every scenario bundle with
+//!   that dataset fault before splitting. The suite must still finish
+//!   all scenarios and report the casualties in the outcome summary.
 
+use kgrec_bench::bench_report::{BenchReport, BENCH_PATH};
 use kgrec_bench::doubles::{NanBot, PanicBot, RecoverBot};
 use kgrec_bench::{
-    evaluate_model_supervised, outcome_counts, preflight_check, preflight_report, print_eval_table,
-    print_outcome_summary, standard_split, EvalRow, ModelReport,
+    evaluate_roster_supervised, outcome_counts, par, preflight_check, preflight_report,
+    print_eval_table_with, print_outcome_summary_with, standard_split, threads_from_args, EvalRow,
+    ModelReport,
 };
 use kgrec_core::{Recommender, SupervisorConfig};
 use kgrec_data::synth::{generate, ScenarioConfig};
 use kgrec_data::Fault;
 use kgrec_models::registry::all_models;
+use std::time::Instant;
+
+/// Everything one suite pass needs to know.
+struct SuiteConfig {
+    scenarios: Vec<(ScenarioConfig, bool)>,
+    threads: usize,
+    inject: bool,
+    fault: Option<Fault>,
+    show_timing: bool,
+    /// Quiet passes (the `--bench` serial baseline) skip stdout entirely.
+    print: bool,
+}
+
+/// One pass over every scenario; returns per-scenario reports and the
+/// wall-clock the whole pass took.
+fn run_suite(cfg: &SuiteConfig) -> (Vec<(String, Vec<ModelReport>)>, f64) {
+    let supervisor = SupervisorConfig::default();
+    let started = Instant::now();
+    let mut runs: Vec<(String, Vec<ModelReport>)> = Vec::new();
+    for (scenario, with_text) in &cfg.scenarios {
+        let mut synth = generate(scenario, 2024);
+        if let Some(f) = cfg.fault {
+            kgrec_data::inject(&mut synth.dataset, f);
+        }
+        let split = standard_split(&synth, 7);
+        if cfg.inject {
+            // A corrupted bundle is the point of the drill: report what
+            // kglint sees and push on into the supervised evaluation.
+            if cfg.print {
+                preflight_report(&synth, &split);
+            }
+        } else {
+            preflight_check(&synth, &split);
+        }
+        if cfg.print {
+            println!(
+                "\nscenario {}: {} users, {} items, {} interactions, {} KG triples",
+                scenario.name,
+                scenario.num_users,
+                scenario.num_items,
+                synth.dataset.interactions.num_interactions(),
+                synth.dataset.graph.num_triples()
+            );
+        }
+        let mut roster: Vec<Box<dyn Recommender>> = all_models(*with_text);
+        if cfg.inject {
+            roster.push(Box::new(PanicBot));
+            roster.push(Box::new(NanBot::default()));
+            roster.push(Box::new(RecoverBot::new(1)));
+        }
+        let reports =
+            evaluate_roster_supervised(roster, &synth, &split, 11, &supervisor, cfg.threads);
+        if cfg.print {
+            // Progress lines print after the pool drains, in roster order,
+            // so stdout is identical at every thread count.
+            for report in &reports {
+                match &report.row {
+                    Some(row) => println!("  done: {} (AUC {:.4})", row.model, row.auc),
+                    None => println!(
+                        "  FAILED: {} ({})",
+                        report.model,
+                        report.outcome.reason.as_deref().unwrap_or("no reason recorded")
+                    ),
+                }
+            }
+            let rows: Vec<EvalRow> = reports.iter().filter_map(|r| r.row.clone()).collect();
+            print_eval_table_with(&scenario.name, &rows, cfg.show_timing);
+            print_outcome_summary_with(&scenario.name, &reports, cfg.show_timing);
+        }
+        runs.push((scenario.name.clone(), reports));
+    }
+    (runs, started.elapsed().as_secs_f64())
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let bench = args.iter().any(|a| a == "--bench");
+    let show_timing = !args.iter().any(|a| a == "--no-timing");
+    let threads = par::resolve_threads(threads_from_args(&args));
     let inject = args.iter().any(|a| a == "--inject-fault" || a.starts_with("--inject-fault="));
     let fault: Option<Fault> = args.iter().find_map(|a| {
         a.strip_prefix("--inject-fault=").map(|label| match Fault::from_label(label) {
@@ -71,61 +159,23 @@ fn main() {
             (ScenarioConfig::bing_news_like(), true),
         ]
     };
-    let supervisor = SupervisorConfig::default();
-    let mut summaries = Vec::new();
+    // Thread count goes to stderr: stdout must stay byte-identical
+    // across `--threads` values for the equivalence checks.
+    eprintln!("eval_suite: {threads} worker thread(s)");
+    let cfg = SuiteConfig { scenarios, threads, inject, fault, show_timing, print: true };
+    let (runs, wall_secs) = run_suite(&cfg);
+
     let mut totals = [0usize; 4];
-    for (cfg, with_text) in &scenarios {
-        let mut synth = generate(cfg, 2024);
-        if let Some(f) = fault {
-            kgrec_data::inject(&mut synth.dataset, f);
-        }
-        let split = standard_split(&synth, 7);
-        if inject {
-            // A corrupted bundle is the point of the drill: report what
-            // kglint sees and push on into the supervised evaluation.
-            preflight_report(&synth, &split);
-        } else {
-            preflight_check(&synth, &split);
-        }
-        println!(
-            "\nscenario {}: {} users, {} items, {} interactions, {} KG triples",
-            cfg.name,
-            cfg.num_users,
-            cfg.num_items,
-            synth.dataset.interactions.num_interactions(),
-            synth.dataset.graph.num_triples()
-        );
-        let mut roster: Vec<Box<dyn Recommender>> = all_models(*with_text);
-        if inject {
-            roster.push(Box::new(PanicBot));
-            roster.push(Box::new(NanBot::default()));
-            roster.push(Box::new(RecoverBot::new(1)));
-        }
-        let mut reports: Vec<ModelReport> = Vec::new();
-        for mut model in roster {
-            let report = evaluate_model_supervised(model.as_mut(), &synth, &split, 11, &supervisor);
-            match &report.row {
-                Some(row) => println!("  done: {} (AUC {:.4})", row.model, row.auc),
-                None => println!(
-                    "  FAILED: {} ({})",
-                    report.model,
-                    report.outcome.reason.as_deref().unwrap_or("no reason recorded")
-                ),
-            }
-            reports.push(report);
-        }
-        let rows: Vec<EvalRow> = reports.iter().filter_map(|r| r.row.clone()).collect();
-        print_eval_table(&cfg.name, &rows);
-        print_outcome_summary(&cfg.name, &reports);
-        let counts = outcome_counts(&reports);
+    for (_, reports) in &runs {
+        let counts = outcome_counts(reports);
         for (t, c) in totals.iter_mut().zip(counts) {
             *t += c;
         }
-        summaries.push((cfg.name.clone(), rows));
     }
     // --- Claim checks ---
     println!("\n== Claim checks ==");
-    for (name, rows) in &summaries {
+    for (name, reports) in &runs {
+        let rows: Vec<EvalRow> = reports.iter().filter_map(|r| r.row.clone()).collect();
         let best = |filter: &dyn Fn(&&EvalRow) -> bool| {
             rows.iter().filter(filter).map(|r| r.auc).fold(f64::NAN, f64::max)
         };
@@ -142,9 +192,28 @@ fn main() {
     println!(
         "\n== Suite outcome: {ok} ok | {retried} retried | {degraded} degraded | {failed} failed \
          across {} scenarios ==",
-        scenarios.len()
+        cfg.scenarios.len()
     );
     if inject && failed == 0 {
         panic!("fault drill expected at least one failed outcome — injection is broken");
+    }
+
+    if bench {
+        let mut report = BenchReport::new(&runs, threads, wall_secs);
+        if threads > 1 {
+            eprintln!("eval_suite --bench: running single-threaded comparison pass");
+            let serial_cfg = SuiteConfig { threads: 1, print: false, ..cfg };
+            let (_, serial_wall) = run_suite(&serial_cfg);
+            report = report.with_serial_baseline(serial_wall);
+        } else {
+            report = report.with_serial_baseline(wall_secs);
+        }
+        report.write_to(std::path::Path::new(BENCH_PATH)).expect("writing BENCH_eval.json");
+        let speedup = report.speedup().unwrap_or(1.0);
+        eprintln!(
+            "bench: {:.2}s wall at {threads} thread(s), {:.0} rows/s, {speedup:.2}x vs serial \
+             -> {BENCH_PATH}",
+            report.wall_secs, report.rows_per_sec
+        );
     }
 }

@@ -1,12 +1,42 @@
 //! Regenerates Table 4 of the survey: datasets per application scenario.
+//!
+//! Usage: `cargo run --release -p kgrec-bench --bin table4 [--verify]
+//! [--threads N]`
+//!
+//! With `--verify`, every dataset backed by an offline generator is
+//! actually generated — sharded across the worker pool — and the table
+//! gains measured `users / items / interactions / triples` columns, so
+//! the printed row provably matches what `kgrec-data` synthesizes.
 
-use kgrec_bench::print_text_table;
+use kgrec_bench::{par, preflight_registry, print_text_table, threads_from_args};
 use kgrec_data::registry::table4;
+use kgrec_data::synth::{generate, ScenarioConfig};
+
+/// Maps a registry generator name to its `ScenarioConfig` preset (the
+/// registry's own unit test keeps this list exhaustive).
+fn preset(generator: &str) -> ScenarioConfig {
+    match generator {
+        "movielens_100k_like" => ScenarioConfig::movielens_100k_like(),
+        "movielens_1m_like" => ScenarioConfig::movielens_1m_like(),
+        "book_crossing_like" => ScenarioConfig::book_crossing_like(),
+        "amazon_product_like" => ScenarioConfig::amazon_product_like(),
+        "bing_news_like" => ScenarioConfig::bing_news_like(),
+        "yelp_like" => ScenarioConfig::yelp_like(),
+        "lastfm_like" => ScenarioConfig::lastfm_like(),
+        "weibo_like" => ScenarioConfig::weibo_like(),
+        other => panic!("registry names unknown generator {other:?}"),
+    }
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let verify = args.iter().any(|a| a == "--verify");
+    let threads = par::resolve_threads(threads_from_args(&args));
+    preflight_registry();
     println!("TABLE 4 — Datasets for different application scenarios\n");
-    let rows: Vec<Vec<String>> = table4()
-        .into_iter()
+    let entries = table4();
+    let mut rows: Vec<Vec<String>> = entries
+        .iter()
         .map(|e| {
             vec![
                 e.scenario.name().to_owned(),
@@ -16,7 +46,32 @@ fn main() {
             ]
         })
         .collect();
-    print_text_table(&["Scenario", "Dataset", "Papers", "Offline generator"], &rows);
+    if verify {
+        eprintln!("table4 --verify: generating datasets on {threads} worker thread(s)");
+        // One shard per generator-backed row; rows without a generator
+        // resolve to an empty stats cell without occupying a worker.
+        let stats: Vec<Option<String>> = par::par_map(&entries, threads, |_, e| {
+            e.generator.map(|g| {
+                let synth = generate(&preset(g), 2024);
+                format!(
+                    "{}u / {}i / {} inter / {} triples",
+                    synth.dataset.interactions.num_users(),
+                    synth.dataset.interactions.num_items(),
+                    synth.dataset.interactions.num_interactions(),
+                    synth.dataset.graph.num_triples()
+                )
+            })
+        });
+        for (row, stat) in rows.iter_mut().zip(stats) {
+            row.push(stat.unwrap_or_default());
+        }
+        print_text_table(
+            &["Scenario", "Dataset", "Papers", "Offline generator", "Generated size"],
+            &rows,
+        );
+    } else {
+        print_text_table(&["Scenario", "Dataset", "Papers", "Offline generator"], &rows);
+    }
     println!(
         "\nDatasets with an offline generator are simulated by kgrec-data's \
          planted-topic synthesizer (DESIGN.md §2)."

@@ -11,15 +11,25 @@
 //! | `figure1` | Figure 1 — the explainable movie-recommendation example |
 //! | `eval_suite` | the survey's qualitative claims, measured |
 //! | `ablation` | design-choice ablations (KGCN aggregators, RippleNet hops) |
+//!
+//! Evaluation is parallel by default: models shard across the
+//! deterministic worker pool ([`par`], re-exported from
+//! `kgrec_linalg::par`), with `--threads N` / `KGREC_THREADS` selecting
+//! the worker count and metrics bit-identical at any setting.
+//! `eval_suite --bench` additionally records the perf trajectory to
+//! `BENCH_eval.json` via [`bench_report`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bench_report;
 pub mod doubles;
+
+pub use kgrec_linalg::par;
 
 use kgrec_check::rules::RegistryConsistency;
 use kgrec_check::{default_model_hyperparams, CheckBundle, CheckReport};
-use kgrec_core::protocol::{evaluate_ctr, evaluate_topk};
+use kgrec_core::protocol::{evaluate_ctr_par, evaluate_topk_par};
 use kgrec_core::{
     panic_message, supervise_fit, FitOutcome, FitStatus, Recommender, SupervisorConfig,
     TrainContext,
@@ -30,7 +40,35 @@ use kgrec_data::synth::{generate, ScenarioConfig, SyntheticDataset};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Parses a `--threads N` / `--threads=N` flag from a raw argument list.
+///
+/// Returns `None` when absent (callers fall through to
+/// [`par::resolve_threads`]'s env/auto policy).
+///
+/// # Panics
+/// Panics on a malformed or zero value — a typo'd thread count should
+/// kill the run, not silently serialize it.
+pub fn threads_from_args(args: &[String]) -> Option<usize> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let raw = if a == "--threads" {
+            it.next().cloned()
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            Some(v.to_owned())
+        } else {
+            continue;
+        };
+        let raw = raw.unwrap_or_else(|| panic!("--threads needs a value (e.g. --threads 4)"));
+        match raw.parse::<usize>() {
+            Ok(n) if n > 0 => return Some(n),
+            _ => panic!("invalid --threads value {raw:?} (want a positive integer)"),
+        }
+    }
+    None
+}
 
 /// One row of an evaluation table.
 #[derive(Debug, Clone)]
@@ -63,6 +101,22 @@ fn family_of(model: &dyn Recommender) -> String {
     }
 }
 
+/// Wall-clock phase timings and row counts for one evaluated model —
+/// the per-cell payload of `BENCH_eval.json`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Training wall-clock (all supervised attempts).
+    pub fit_secs: f64,
+    /// CTR-protocol scoring wall-clock.
+    pub score_secs: f64,
+    /// Top-K full-ranking wall-clock.
+    pub rank_secs: f64,
+    /// Labeled pairs scored by the CTR protocol.
+    pub pairs_scored: usize,
+    /// Users ranked by the top-K protocol.
+    pub users_ranked: usize,
+}
+
 /// What a supervised evaluation produced for one model: the training
 /// outcome always, the metric row only when the model ended usable.
 #[derive(Debug)]
@@ -76,10 +130,13 @@ pub struct ModelReport {
     /// Metrics, when [`FitOutcome::is_usable`] held and evaluation
     /// itself survived.
     pub row: Option<EvalRow>,
+    /// Phase timings (fit always; score/rank only when evaluation ran).
+    pub timings: PhaseTimings,
 }
 
 /// Trains `model` under [`supervise_fit`] and, when the outcome is
-/// usable, evaluates it under both protocols.
+/// usable, evaluates it under both protocols on up to `threads` pool
+/// workers (1 = serial; metrics are bit-identical either way).
 ///
 /// Unlike [`evaluate_model`] this never panics and never silently drops
 /// a model: panics, divergence, non-finite scores and budget overruns
@@ -93,19 +150,26 @@ pub fn evaluate_model_supervised(
     split: &Split,
     seed: u64,
     config: &SupervisorConfig,
+    threads: usize,
 ) -> ModelReport {
     let name = model.name();
     let family = family_of(model);
     let mut outcome = supervise_fit(model, &synth.dataset, &split.train, config);
+    let mut timings =
+        PhaseTimings { fit_secs: outcome.elapsed.as_secs_f64(), ..PhaseTimings::default() };
     let row = if outcome.is_usable() {
         let fit_seconds = outcome.elapsed.as_secs_f64();
         let fam = family.clone();
         let evaluated = catch_unwind(AssertUnwindSafe(|| {
             let mut rng = StdRng::seed_from_u64(seed);
             let pairs = labeled_eval_set(&split.train, &split.test, 4, &mut rng);
-            let ctr = evaluate_ctr(&*model, &pairs);
-            let topk = evaluate_topk(&*model, &split.train, &split.test, &[10]);
-            EvalRow {
+            let score_started = Instant::now();
+            let ctr = evaluate_ctr_par(&*model, &pairs, threads);
+            let score_secs = score_started.elapsed().as_secs_f64();
+            let rank_started = Instant::now();
+            let topk = evaluate_topk_par(&*model, &split.train, &split.test, &[10], threads);
+            let rank_secs = rank_started.elapsed().as_secs_f64();
+            let row = EvalRow {
                 model: name,
                 family: fam,
                 auc: ctr.auc,
@@ -114,10 +178,21 @@ pub fn evaluate_model_supervised(
                 ndcg_at_10: topk.cutoffs[0].ndcg,
                 hit_at_10: topk.cutoffs[0].hit_rate,
                 fit_seconds,
-            }
+            };
+            let timing = PhaseTimings {
+                fit_secs: fit_seconds,
+                score_secs,
+                rank_secs,
+                pairs_scored: ctr.pairs,
+                users_ranked: topk.users_evaluated,
+            };
+            (row, timing)
         }));
         match evaluated {
-            Ok(row) => Some(row),
+            Ok((row, timing)) => {
+                timings = timing;
+                Some(row)
+            }
             Err(payload) => {
                 outcome.status = FitStatus::Failed;
                 outcome.reason =
@@ -128,7 +203,63 @@ pub fn evaluate_model_supervised(
     } else {
         None
     };
-    ModelReport { model: name, family, outcome, row }
+    ModelReport { model: name, family, outcome, row, timings }
+}
+
+/// Evaluates a whole roster under supervision, sharding **models**
+/// across the worker pool (each model's own protocols then run
+/// single-threaded — the two parallelism layers are not stacked, so a
+/// run is never oversubscribed).
+///
+/// Reports come back in roster order regardless of which worker finished
+/// first, and each model's training RNG is seeded per model exactly as
+/// in the serial loop, so the metric tables are bit-identical at any
+/// thread count.
+///
+/// Fault isolation is two-layered: [`supervise_fit`] catches model
+/// panics inside the worker, and the pool's [`par::par_map_catch`]
+/// catches anything that escapes (a poisoned shard). Either way exactly
+/// one [`ModelReport`] row degrades — the pool never deadlocks and no
+/// panic escapes to the caller.
+pub fn evaluate_roster_supervised(
+    roster: Vec<Box<dyn Recommender>>,
+    synth: &SyntheticDataset,
+    split: &Split,
+    seed: u64,
+    config: &SupervisorConfig,
+    threads: usize,
+) -> Vec<ModelReport> {
+    let meta: Vec<(&'static str, String)> =
+        roster.iter().map(|m| (m.name(), family_of(m.as_ref()))).collect();
+    // Mutex-per-model hands each worker exclusive `&mut` access without
+    // `unsafe`; slots are claimed once, so the locks never contend.
+    let slots: Vec<Mutex<Box<dyn Recommender>>> = roster.into_iter().map(Mutex::new).collect();
+    let inner_threads = if threads > 1 { 1 } else { threads.max(1) };
+    let results = par::par_map_catch(&slots, threads, |_, slot| {
+        let mut model = slot.lock().expect("model slot poisoned");
+        evaluate_model_supervised(model.as_mut(), synth, split, seed, config, inner_threads)
+    });
+    results
+        .into_iter()
+        .zip(meta)
+        .map(|(result, (name, family))| match result {
+            Ok(report) => report,
+            // A panic that escaped the supervisor's own isolation (e.g. a
+            // poisoned model mutex) poisons only this row.
+            Err(message) => ModelReport {
+                model: name,
+                family,
+                outcome: FitOutcome {
+                    status: FitStatus::Failed,
+                    attempts: 0,
+                    elapsed: Duration::ZERO,
+                    reason: Some(format!("worker shard panicked: {message}")),
+                },
+                row: None,
+                timings: PhaseTimings::default(),
+            },
+        })
+        .collect()
 }
 
 /// Outcome counts across a set of reports, in state-machine order:
@@ -151,19 +282,32 @@ pub fn outcome_counts(reports: &[ModelReport]) -> [usize; 4] {
 /// attempts, wall-clock, and the failure/degradation reason (`-` for
 /// clean first-attempt fits).
 pub fn print_outcome_summary(title: &str, reports: &[ModelReport]) {
+    print_outcome_summary_with(title, reports, true);
+}
+
+/// [`print_outcome_summary`] with an explicit timing switch: with
+/// `show_timing = false` the wall-clock column prints `-`, making the
+/// table byte-identical across machines and thread counts (the golden
+/// regression test and the CI 1-vs-4-thread diff rely on this).
+pub fn print_outcome_summary_with(title: &str, reports: &[ModelReport], show_timing: bool) {
     println!("\n== {title}: training outcomes ==");
     println!(
         "{:<12} {:<9} {:<9} {:>8} {:>8}  reason",
         "model", "family", "status", "attempts", "fit(s)"
     );
     for r in reports {
+        let fit = if show_timing {
+            format!("{:.2}", r.outcome.elapsed.as_secs_f64())
+        } else {
+            "-".to_owned()
+        };
         println!(
-            "{:<12} {:<9} {:<9} {:>8} {:>8.2}  {}",
+            "{:<12} {:<9} {:<9} {:>8} {:>8}  {}",
             r.model,
             r.family,
             r.outcome.status.label(),
             r.outcome.attempts,
-            r.outcome.elapsed.as_secs_f64(),
+            fit,
             r.outcome.reason.as_deref().unwrap_or("-")
         );
     }
@@ -171,7 +315,9 @@ pub fn print_outcome_summary(title: &str, reports: &[ModelReport]) {
     println!("   {ok} ok | {retried} retried | {degraded} degraded | {failed} failed");
 }
 
-/// Trains `model` on the split and evaluates it under both protocols.
+/// Trains `model` on the split and evaluates it under both protocols on
+/// up to `threads` pool workers (1 = serial; metrics are bit-identical
+/// either way).
 ///
 /// Returns `None` when the model cannot fit this dataset (e.g. DKN
 /// without token lists) — the caller skips the row. Unsupervised: a
@@ -183,6 +329,7 @@ pub fn evaluate_model(
     synth: &SyntheticDataset,
     split: &Split,
     seed: u64,
+    threads: usize,
 ) -> Option<EvalRow> {
     let ctx = TrainContext::new(&synth.dataset, &split.train);
     let start = Instant::now();
@@ -192,8 +339,8 @@ pub fn evaluate_model(
     let fit_seconds = start.elapsed().as_secs_f64();
     let mut rng = StdRng::seed_from_u64(seed);
     let pairs = labeled_eval_set(&split.train, &split.test, 4, &mut rng);
-    let ctr = evaluate_ctr(model, &pairs);
-    let topk = evaluate_topk(model, &split.train, &split.test, &[10]);
+    let ctr = evaluate_ctr_par(model, &pairs, threads);
+    let topk = evaluate_topk_par(model, &split.train, &split.test, &[10], threads);
     let family = family_of(model);
     Some(EvalRow {
         model: model.name(),
@@ -281,34 +428,44 @@ pub fn preflight_registry() {
 
 /// Prints an evaluation table in a fixed-width layout.
 pub fn print_eval_table(title: &str, rows: &[EvalRow]) {
+    print_eval_table_with(title, rows, true);
+}
+
+/// [`print_eval_table`] with an explicit timing switch: with
+/// `show_timing = false` the `fit(s)` column prints `-` so the table is
+/// byte-identical across machines and thread counts.
+pub fn print_eval_table_with(title: &str, rows: &[EvalRow], show_timing: bool) {
     println!("\n== {title} ==");
     println!(
         "{:<12} {:<9} {:>7} {:>7} {:>8} {:>8} {:>7} {:>8}",
         "model", "family", "AUC", "ACC", "R@10", "NDCG@10", "HR@10", "fit(s)"
     );
     for r in rows {
+        let fit = if show_timing { format!("{:.2}", r.fit_seconds) } else { "-".to_owned() };
         println!(
-            "{:<12} {:<9} {:>7.4} {:>7.4} {:>8.4} {:>8.4} {:>7.4} {:>8.2}",
-            r.model,
-            r.family,
-            r.auc,
-            r.accuracy,
-            r.recall_at_10,
-            r.ndcg_at_10,
-            r.hit_at_10,
-            r.fit_seconds
+            "{:<12} {:<9} {:>7.4} {:>7.4} {:>8.4} {:>8.4} {:>7.4} {:>8}",
+            r.model, r.family, r.auc, r.accuracy, r.recall_at_10, r.ndcg_at_10, r.hit_at_10, fit
         );
     }
+}
+
+/// Column width of a cell as the terminal will pad it: Rust's `{:<w$}`
+/// formatting counts `char`s, so widths must too — `len()` counts bytes
+/// and breaks alignment on the first multi-byte model or dataset name
+/// (grapheme clusters and double-width CJK glyphs remain approximate,
+/// which matches the formatter's own behavior).
+fn cell_width(cell: &str) -> usize {
+    cell.chars().count()
 }
 
 /// Renders a plain-text table with a header and aligned columns (used by
 /// the table1/table3/table4 binaries).
 pub fn print_text_table(headers: &[&str], rows: &[Vec<String>]) {
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    let mut widths: Vec<usize> = headers.iter().map(|h| cell_width(h)).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
             if i < widths.len() {
-                widths[i] = widths[i].max(cell.len());
+                widths[i] = widths[i].max(cell_width(cell));
             }
         }
     }
@@ -338,10 +495,25 @@ mod tests {
         let synth = generate(&ScenarioConfig::tiny(), 1);
         let split = standard_split(&synth, 2);
         let mut model = MostPop::new();
-        let row = evaluate_model(&mut model, &synth, &split, 3).unwrap();
+        let row = evaluate_model(&mut model, &synth, &split, 3, 1).unwrap();
         assert_eq!(row.model, "MostPop");
         assert!(row.auc > 0.0 && row.auc <= 1.0);
         assert!(row.recall_at_10 >= 0.0 && row.recall_at_10 <= 1.0);
+    }
+
+    #[test]
+    fn evaluate_model_is_thread_count_invariant() {
+        let synth = generate(&ScenarioConfig::tiny(), 1);
+        let split = standard_split(&synth, 2);
+        let serial = evaluate_model(&mut MostPop::new(), &synth, &split, 3, 1).unwrap();
+        for threads in [2, 4, 7] {
+            let par = evaluate_model(&mut MostPop::new(), &synth, &split, 3, threads).unwrap();
+            assert_eq!(par.auc, serial.auc, "threads={threads}");
+            assert_eq!(par.accuracy, serial.accuracy);
+            assert_eq!(par.recall_at_10, serial.recall_at_10);
+            assert_eq!(par.ndcg_at_10, serial.ndcg_at_10);
+            assert_eq!(par.hit_at_10, serial.hit_at_10);
+        }
     }
 
     #[test]
@@ -350,16 +522,48 @@ mod tests {
     }
 
     #[test]
+    fn text_table_widths_count_chars_not_bytes() {
+        // "KGAT™" is 5 chars / 7 bytes; "模型" is 2 chars / 6 bytes. Byte
+        // widths would over-pad every other cell in the column.
+        assert_eq!(cell_width("KGAT™"), 5);
+        assert_eq!(cell_width("模型"), 2);
+        assert_eq!(cell_width("ascii"), 5);
+        // Rendering multi-byte rows must not panic and must align: the
+        // widest first-column cell is "KGAT™" (5 chars), so the header
+        // pads to 5 chars + 2 spaces before "b".
+        print_text_table(
+            &["model", "b"],
+            &[vec!["KGAT™".into(), "x".into()], vec!["模型".into(), "y".into()]],
+        );
+    }
+
+    #[test]
+    fn threads_flag_parses_both_spellings() {
+        let to_args = |v: &[&str]| v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        assert_eq!(threads_from_args(&to_args(&["--quick", "--threads", "4"])), Some(4));
+        assert_eq!(threads_from_args(&to_args(&["--threads=7"])), Some(7));
+        assert_eq!(threads_from_args(&to_args(&["--quick"])), None);
+    }
+
+    #[test]
     fn supervised_evaluation_of_a_healthy_model_yields_a_row() {
         let synth = generate(&ScenarioConfig::tiny(), 1);
         let split = standard_split(&synth, 2);
         let mut model = MostPop::new();
-        let report =
-            evaluate_model_supervised(&mut model, &synth, &split, 3, &SupervisorConfig::default());
+        let report = evaluate_model_supervised(
+            &mut model,
+            &synth,
+            &split,
+            3,
+            &SupervisorConfig::default(),
+            1,
+        );
         assert_eq!(report.outcome.status, FitStatus::Ok);
         let row = report.row.expect("usable outcome must carry metrics");
         assert_eq!(row.model, "MostPop");
         assert!(row.auc > 0.0 && row.auc <= 1.0);
+        assert!(report.timings.users_ranked > 0 && report.timings.users_ranked <= 40);
+        assert!(report.timings.pairs_scored > 0);
     }
 
     #[test]
@@ -369,12 +573,65 @@ mod tests {
         let synth = generate(&ScenarioConfig::tiny(), 1);
         let split = standard_split(&synth, 2);
         let mut model = crate::doubles::PanicBot;
-        let report =
-            evaluate_model_supervised(&mut model, &synth, &split, 3, &SupervisorConfig::default());
+        let report = evaluate_model_supervised(
+            &mut model,
+            &synth,
+            &split,
+            3,
+            &SupervisorConfig::default(),
+            1,
+        );
         std::panic::set_hook(hook);
         assert_eq!(report.outcome.status, FitStatus::Failed);
         assert!(report.row.is_none());
         assert!(report.outcome.reason.unwrap().contains("panic"));
+    }
+
+    #[test]
+    fn roster_evaluation_matches_the_serial_loop_bit_for_bit() {
+        let synth = generate(&ScenarioConfig::tiny(), 1);
+        let split = standard_split(&synth, 2);
+        let config = SupervisorConfig::default();
+        let roster = || -> Vec<Box<dyn Recommender>> {
+            vec![
+                Box::new(MostPop::new()),
+                Box::new(kgrec_models::baselines::ItemKnn::new(10)),
+                Box::new(kgrec_models::baselines::BprMf::default_config()),
+            ]
+        };
+        let serial = evaluate_roster_supervised(roster(), &synth, &split, 3, &config, 1);
+        for threads in [2, 4] {
+            let par = evaluate_roster_supervised(roster(), &synth, &split, 3, &config, threads);
+            assert_eq!(par.len(), serial.len());
+            for (p, s) in par.iter().zip(&serial) {
+                assert_eq!(p.model, s.model, "roster order must be preserved");
+                assert_eq!(p.outcome.status, s.outcome.status);
+                let (pr, sr) = (p.row.as_ref().unwrap(), s.row.as_ref().unwrap());
+                assert_eq!(pr.auc, sr.auc, "{}: AUC drifted at threads={threads}", p.model);
+                assert_eq!(pr.ndcg_at_10, sr.ndcg_at_10);
+                assert_eq!(pr.recall_at_10, sr.recall_at_10);
+            }
+        }
+    }
+
+    #[test]
+    fn roster_evaluation_poisons_only_the_panicking_row() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let synth = generate(&ScenarioConfig::tiny(), 1);
+        let split = standard_split(&synth, 2);
+        let roster: Vec<Box<dyn Recommender>> = vec![
+            Box::new(MostPop::new()),
+            Box::new(crate::doubles::PanicBot),
+            Box::new(kgrec_models::baselines::ItemKnn::new(10)),
+        ];
+        let reports =
+            evaluate_roster_supervised(roster, &synth, &split, 3, &SupervisorConfig::default(), 4);
+        std::panic::set_hook(hook);
+        assert_eq!(outcome_counts(&reports), [2, 0, 0, 1]);
+        assert_eq!(reports[1].model, "PanicBot");
+        assert_eq!(reports[1].outcome.status, FitStatus::Failed);
+        assert!(reports[0].row.is_some() && reports[2].row.is_some());
     }
 
     #[test]
@@ -386,13 +643,14 @@ mod tests {
         let mut pop = MostPop::new();
         let mut bot = crate::doubles::NanBot::default();
         let reports = vec![
-            evaluate_model_supervised(&mut pop, &synth, &split, 3, &SupervisorConfig::default()),
-            evaluate_model_supervised(&mut bot, &synth, &split, 3, &SupervisorConfig::default()),
+            evaluate_model_supervised(&mut pop, &synth, &split, 3, &SupervisorConfig::default(), 1),
+            evaluate_model_supervised(&mut bot, &synth, &split, 3, &SupervisorConfig::default(), 1),
         ];
         std::panic::set_hook(hook);
         assert_eq!(outcome_counts(&reports), [1, 0, 0, 1]);
-        // Rendering must not panic on mixed outcomes.
+        // Rendering must not panic on mixed outcomes, timing on or off.
         print_outcome_summary("test", &reports);
+        print_outcome_summary_with("test", &reports, false);
     }
 
     #[test]

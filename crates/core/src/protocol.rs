@@ -6,11 +6,17 @@
 //! ranks the full catalog per user, excludes training positives, and
 //! reports Precision/Recall/NDCG/HitRate at the requested cutoffs plus
 //! MRR.
+//!
+//! Both protocols have `_par` variants that shard the work (pairs /
+//! users) across the deterministic worker pool of [`kgrec_linalg::par`];
+//! reductions run in fixed input order, so the parallel reports are
+//! bit-identical to the serial ones at any thread count.
 
 use crate::metrics;
 use crate::recommender::Recommender;
 use kgrec_data::negative::LabeledPair;
 use kgrec_data::{InteractionMatrix, UserId};
+use kgrec_linalg::par;
 
 /// CTR-protocol result.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,15 +55,40 @@ pub struct TopKReport {
     pub users_evaluated: usize,
 }
 
-/// Runs the CTR protocol: scores every labeled pair with the model.
+/// Runs the CTR protocol serially: scores every labeled pair with the
+/// model. Equivalent to [`evaluate_ctr_par`] with one thread.
 ///
 /// Scores are squashed through a sigmoid for the accuracy threshold;
 /// AUC is threshold-free so the squashing does not affect it.
 pub fn evaluate_ctr<M: Recommender + ?Sized>(model: &M, pairs: &[LabeledPair]) -> CtrReport {
-    let scored: Vec<(f32, bool)> = pairs
-        .iter()
-        .map(|p| (kgrec_linalg::vector::sigmoid(model.score(p.user, p.item)), p.positive))
-        .collect();
+    evaluate_ctr_par(model, pairs, 1)
+}
+
+/// Runs the CTR protocol on up to `threads` workers.
+///
+/// Pairs are scored in index-addressed chunks and reassembled in input
+/// order before the (serial) AUC/accuracy reduction, so the report is
+/// bit-identical to the serial protocol for any thread count.
+pub fn evaluate_ctr_par<M: Recommender + ?Sized>(
+    model: &M,
+    pairs: &[LabeledPair],
+    threads: usize,
+) -> CtrReport {
+    let score_one =
+        |p: &LabeledPair| (kgrec_linalg::vector::sigmoid(model.score(p.user, p.item)), p.positive);
+    let scored: Vec<(f32, bool)> = if threads <= 1 || pairs.len() < 2 {
+        pairs.iter().map(score_one).collect()
+    } else {
+        // Chunked so the per-item pool overhead amortizes over cheap
+        // score calls; chunk boundaries cannot affect results because
+        // scoring is per-pair and reassembly is in input order.
+        let chunk = pairs.len().div_ceil(threads * 4).max(1);
+        let chunks: Vec<&[LabeledPair]> = pairs.chunks(chunk).collect();
+        par::par_map(&chunks, threads, |_, c| c.iter().map(score_one).collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    };
     CtrReport {
         auc: metrics::auc(&scored).unwrap_or(0.5),
         accuracy: metrics::accuracy(&scored, 0.5).unwrap_or(0.0),
@@ -65,7 +96,8 @@ pub fn evaluate_ctr<M: Recommender + ?Sized>(model: &M, pairs: &[LabeledPair]) -
     }
 }
 
-/// Runs the full-ranking top-K protocol.
+/// Runs the full-ranking top-K protocol serially. Equivalent to
+/// [`evaluate_topk_par`] with one thread.
 ///
 /// For each user with test positives, the model ranks all items except
 /// the user's *training* positives; test items are the relevance set.
@@ -75,27 +107,61 @@ pub fn evaluate_topk<M: Recommender + ?Sized>(
     test: &InteractionMatrix,
     ks: &[usize],
 ) -> TopKReport {
+    evaluate_topk_par(model, train, test, ks, 1)
+}
+
+/// Runs the full-ranking top-K protocol on up to `threads` workers.
+///
+/// Users are sharded across the pool; each worker ranks its users and
+/// computes their per-user metric contributions independently. The mean
+/// reduction then folds contributions serially in ascending user order —
+/// exactly the serial loop's accumulation order — so every metric is
+/// bit-identical to [`evaluate_topk`] regardless of thread count.
+pub fn evaluate_topk_par<M: Recommender + ?Sized>(
+    model: &M,
+    train: &InteractionMatrix,
+    test: &InteractionMatrix,
+    ks: &[usize],
+    threads: usize,
+) -> TopKReport {
     let max_k = ks.iter().copied().max().unwrap_or(0);
-    let mut sums: Vec<[f64; 4]> = vec![[0.0; 4]; ks.len()];
-    let mut mrr_sum = 0.0f64;
-    let mut users = 0usize;
-    for u in 0..test.num_users() {
-        let user = UserId(u as u32);
+    let user_ids: Vec<u32> = (0..test.num_users() as u32).collect();
+    // Per-user contribution: [precision, recall, ndcg, hit] per cutoff,
+    // plus MRR. `None` marks users without test positives.
+    type UserContribution = Option<(Vec<[f64; 4]>, f64)>;
+    let per_user: Vec<UserContribution> = par::par_map(&user_ids, threads, |_, &u| {
+        let user = UserId(u);
         let relevant: Vec<u32> = test.items_of(user).iter().map(|i| i.0).collect();
         if relevant.is_empty() {
-            continue;
+            return None;
         }
-        users += 1;
         let exclude = train.items_of(user);
         let recs = model.recommend(user, max_k.max(model.num_items()), exclude);
         let ranked: Vec<u32> = recs.iter().map(|(i, _)| i.0).collect();
-        for (ki, &k) in ks.iter().enumerate() {
-            sums[ki][0] += metrics::precision_at_k(&ranked, &relevant, k);
-            sums[ki][1] += metrics::recall_at_k(&ranked, &relevant, k);
-            sums[ki][2] += metrics::ndcg_at_k(&ranked, &relevant, k);
-            sums[ki][3] += metrics::hit_rate_at_k(&ranked, &relevant, k);
+        let cutoffs: Vec<[f64; 4]> = ks
+            .iter()
+            .map(|&k| {
+                [
+                    metrics::precision_at_k(&ranked, &relevant, k),
+                    metrics::recall_at_k(&ranked, &relevant, k),
+                    metrics::ndcg_at_k(&ranked, &relevant, k),
+                    metrics::hit_rate_at_k(&ranked, &relevant, k),
+                ]
+            })
+            .collect();
+        Some((cutoffs, metrics::mrr(&ranked, &relevant)))
+    });
+    let mut sums: Vec<[f64; 4]> = vec![[0.0; 4]; ks.len()];
+    let mut mrr_sum = 0.0f64;
+    let mut users = 0usize;
+    for (cutoffs, mrr) in per_user.into_iter().flatten() {
+        users += 1;
+        for (sum, contribution) in sums.iter_mut().zip(cutoffs) {
+            for (s, c) in sum.iter_mut().zip(contribution) {
+                *s += c;
+            }
         }
-        mrr_sum += metrics::mrr(&ranked, &relevant);
+        mrr_sum += mrr;
     }
     let denom = users.max(1) as f64;
     TopKReport {
@@ -245,6 +311,20 @@ mod tests {
         let pairs = kgrec_data::negative::labeled_eval_set(&train, &test, 2, &mut rng);
         let rep = evaluate_ctr(&model, &pairs);
         assert_eq!(rep.auc, 0.0);
+    }
+
+    #[test]
+    fn parallel_protocols_are_bit_identical_to_serial() {
+        let (train, test) = toy_split();
+        let model = Oracle { test: test.clone() };
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+        let pairs = kgrec_data::negative::labeled_eval_set(&train, &test, 3, &mut rng);
+        let ctr_serial = evaluate_ctr(&model, &pairs);
+        let topk_serial = evaluate_topk(&model, &train, &test, &[1, 2, 5]);
+        for threads in [2, 4, 7] {
+            assert_eq!(evaluate_ctr_par(&model, &pairs, threads), ctr_serial);
+            assert_eq!(evaluate_topk_par(&model, &train, &test, &[1, 2, 5], threads), topk_serial);
+        }
     }
 
     #[test]

@@ -68,7 +68,12 @@ impl<'a> TrainContext<'a> {
 /// representations, `score` is the preference function
 /// `f: u_i × v_j → ŷ_{i,j}` (higher = preferred), and `recommend` sorts
 /// unseen items by it.
-pub trait Recommender {
+///
+/// `Send + Sync` is part of the contract: the evaluation harness shards
+/// models across worker threads and ranks users against a shared `&self`.
+/// Every model is a plain data struct, so the bounds are free; a model
+/// needing interior mutability must bring its own synchronization.
+pub trait Recommender: Send + Sync {
     /// Model name (matches the Table 3 method name where applicable).
     fn name(&self) -> &'static str;
 

@@ -23,54 +23,82 @@ pub struct LinkPredictionReport {
     pub hits_at_10: f64,
 }
 
+/// Ranks one test triple against every candidate entity on both sides.
+/// Returns `[tail_rank, head_rank]` — the per-triple unit of work the
+/// worker pool shards.
+fn triple_ranks<M: KgeModel + ?Sized>(
+    model: &M,
+    filter: &KnowledgeGraph,
+    triple: Triple,
+) -> [usize; 2] {
+    let n = filter.num_entities();
+    let true_score = model.score(triple.head, triple.rel, triple.tail);
+    // Tail prediction.
+    let mut tail_rank = 1usize;
+    for e in 0..n as u32 {
+        let cand = EntityId(e);
+        if cand == triple.tail {
+            continue;
+        }
+        if filter.contains(triple.head, triple.rel, cand) {
+            continue; // filtered setting
+        }
+        if model.score(triple.head, triple.rel, cand) > true_score {
+            tail_rank += 1;
+        }
+    }
+    // Head prediction.
+    let mut head_rank = 1usize;
+    for e in 0..n as u32 {
+        let cand = EntityId(e);
+        if cand == triple.head {
+            continue;
+        }
+        if filter.contains(cand, triple.rel, triple.tail) {
+            continue;
+        }
+        if model.score(cand, triple.rel, triple.tail) > true_score {
+            head_rank += 1;
+        }
+    }
+    [tail_rank, head_rank]
+}
+
 /// Evaluates `model` on `test` triples against the filter graph
 /// (typically the full graph including train and test facts).
 ///
 /// Both head and tail prediction are evaluated; each test triple
 /// contributes two ranks. Returns `None` when `test` is empty.
+/// Equivalent to [`link_prediction_par`] with one thread.
 pub fn link_prediction<M: KgeModel + ?Sized>(
     model: &M,
     filter: &KnowledgeGraph,
     test: &[Triple],
 ) -> Option<LinkPredictionReport> {
+    link_prediction_par(model, filter, test, 1)
+}
+
+/// Filtered link prediction on up to `threads` workers of the
+/// deterministic pool.
+///
+/// Test triples are sharded across workers; each contributes its
+/// `[tail_rank, head_rank]` pair, flattened in input order — the exact
+/// rank sequence of the serial evaluation — before the (serial) MR / MRR
+/// / Hits@K reduction. Reports are bit-identical at any thread count.
+pub fn link_prediction_par<M: KgeModel + ?Sized>(
+    model: &M,
+    filter: &KnowledgeGraph,
+    test: &[Triple],
+    threads: usize,
+) -> Option<LinkPredictionReport> {
     if test.is_empty() {
         return None;
     }
-    let n = filter.num_entities();
-    let mut ranks: Vec<usize> = Vec::with_capacity(test.len() * 2);
-    for &triple in test {
-        // Tail prediction.
-        let true_score = model.score(triple.head, triple.rel, triple.tail);
-        let mut rank = 1usize;
-        for e in 0..n as u32 {
-            let cand = EntityId(e);
-            if cand == triple.tail {
-                continue;
-            }
-            if filter.contains(triple.head, triple.rel, cand) {
-                continue; // filtered setting
-            }
-            if model.score(triple.head, triple.rel, cand) > true_score {
-                rank += 1;
-            }
-        }
-        ranks.push(rank);
-        // Head prediction.
-        let mut rank = 1usize;
-        for e in 0..n as u32 {
-            let cand = EntityId(e);
-            if cand == triple.head {
-                continue;
-            }
-            if filter.contains(cand, triple.rel, triple.tail) {
-                continue;
-            }
-            if model.score(cand, triple.rel, triple.tail) > true_score {
-                rank += 1;
-            }
-        }
-        ranks.push(rank);
-    }
+    let ranks: Vec<usize> =
+        kgrec_linalg::par::par_map(test, threads, |_, &triple| triple_ranks(model, filter, triple))
+            .into_iter()
+            .flatten()
+            .collect();
     let m = ranks.len() as f64;
     let mean_rank = ranks.iter().sum::<usize>() as f64 / m;
     let mrr = ranks.iter().map(|&r| 1.0 / r as f64).sum::<f64>() / m;
@@ -147,6 +175,25 @@ mod tests {
             after.mrr
         );
         assert!(after.hits_at_10 >= before.hits_at_10);
+    }
+
+    #[test]
+    fn parallel_link_prediction_is_bit_identical_to_serial() {
+        let mut b = KgBuilder::new();
+        let ty = b.entity_type("t");
+        let es: Vec<_> = (0..12).map(|i| b.entity(&format!("e{i}"), ty)).collect();
+        let r = b.relation("r");
+        for i in 0..11 {
+            b.triple(es[i], r, es[i + 1]);
+        }
+        let g = b.build(false);
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = TransE::new(&mut rng, 12, 1, 8, 1.0);
+        let serial = link_prediction(&m, &g, g.triples()).unwrap();
+        for threads in [2, 4, 7] {
+            let par = link_prediction_par(&m, &g, g.triples(), threads).unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
     }
 
     #[test]

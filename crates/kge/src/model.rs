@@ -7,7 +7,12 @@ use kgrec_graph::{EntityId, RelationId, Triple};
 /// Scores are oriented so that **higher means more plausible** — the
 /// translation-distance models return the negated distance. This keeps
 /// ranking code uniform across model families.
-pub trait KgeModel {
+///
+/// `Send + Sync` is part of the contract: link-prediction evaluation
+/// shards test triples across worker threads that score against a shared
+/// `&self`. Every backend is a plain embedding-table struct, so the
+/// bounds are free.
+pub trait KgeModel: Send + Sync {
     /// Embedding dimension `d`.
     fn dim(&self) -> usize;
 

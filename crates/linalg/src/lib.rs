@@ -18,6 +18,9 @@
 //!   time, used by the path-encoding recommenders (RKGE / KPRN style);
 //! * [`stability`] — online loss-curve monitoring ([`stability::LossMonitor`]):
 //!   NaN/∞ and divergence detection feeding the training supervisor;
+//! * [`par`] — the deterministic worker pool ([`par::par_map`]):
+//!   index-addressed sharding with fixed-order reduction, so parallel
+//!   evaluation is bit-identical to serial at any thread count;
 //! * [`gradcheck`] — finite-difference gradient checking used throughout the
 //!   test suites to validate every hand-derived gradient.
 //!
@@ -36,6 +39,7 @@ pub mod init;
 pub mod matrix;
 pub mod nn;
 pub mod optim;
+pub mod par;
 pub mod rnn;
 pub mod stability;
 pub mod vector;

@@ -1,0 +1,196 @@
+//! Deterministic worker pool for data-parallel evaluation.
+//!
+//! A dependency-free `std::thread` pool built for one job: sharding
+//! independent work items (users to rank, models to train, triples to
+//! score) across cores **without changing any numeric result**. Two
+//! properties make that hold:
+//!
+//! 1. **index-addressed results** — every item's output lands in a slot
+//!    keyed by its input index, regardless of which worker computed it or
+//!    when it finished;
+//! 2. **fixed-order reduction** — callers fold the returned `Vec` in
+//!    input order, so floating-point accumulation happens in exactly the
+//!    serial order. Metrics are therefore bit-identical for any thread
+//!    count, including 1 (which runs inline without spawning).
+//!
+//! Scheduling is dynamic (workers pull the next unclaimed index from an
+//! atomic counter), so heterogeneous item costs — a KGAT fit next to a
+//! MostPop fit — balance without affecting determinism.
+//!
+//! Thread-count policy, in priority order: an explicit request (the
+//! binaries' `--threads N` flag), the [`THREADS_ENV`] environment
+//! variable, then [`std::thread::available_parallelism`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable consulted by [`resolve_threads`] when no explicit
+/// thread count is given: `KGREC_THREADS=4`.
+pub const THREADS_ENV: &str = "KGREC_THREADS";
+
+/// Resolves the worker count: `explicit` (clamped to ≥ 1) wins, then a
+/// positive [`THREADS_ENV`] value, then the machine's available
+/// parallelism (1 when even that is unknowable).
+///
+/// An unparseable or zero [`THREADS_ENV`] is reported on stderr and
+/// ignored rather than killing the run.
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        return n.max(1);
+    }
+    if let Ok(raw) = std::env::var(THREADS_ENV) {
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => eprintln!("ignoring invalid {THREADS_ENV}={raw:?} (want a positive integer)"),
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Maps `f` over `items` on up to `threads` workers, returning results in
+/// input order.
+///
+/// Determinism contract: for a pure `f`, the returned `Vec` is identical
+/// for every thread count. With `threads <= 1` (or fewer than two items)
+/// the map runs inline on the caller's thread — the serial path *is* the
+/// parallel path with one worker, not separate code.
+///
+/// # Panics
+/// A panic inside `f` propagates to the caller once all workers have
+/// drained (the remaining items still complete). Use [`par_map_catch`]
+/// when one poisoned item must not sink the batch.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(i, &items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited before filling its slot")
+        })
+        .collect()
+}
+
+/// Like [`par_map`], but isolates panics per item: a panicking `f(i, _)`
+/// yields `Err(message)` in slot `i` while every other item completes
+/// normally. The pool itself never deadlocks or dies — workers keep
+/// pulling indices after a caught panic.
+///
+/// The serial (`threads <= 1`) path catches identically, so outcome
+/// vectors are thread-count-independent for deterministic `f`.
+pub fn par_map_catch<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map(items, threads, |i, item| {
+        catch_unwind(AssertUnwindSafe(|| f(i, item)))
+            .map_err(|payload| panic_text(payload.as_ref()))
+    })
+}
+
+/// Stringifies a panic payload (`&str` / `String` cover every panic in
+/// the workspace).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for threads in [1, 2, 4, 7, 64] {
+            let out = par_map(&items, threads, |i, &x| {
+                assert_eq!(i as u64, x, "index must track the item");
+                x * 3 + 1
+            });
+            let expected: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn float_reduction_is_bit_identical_across_thread_counts() {
+        // Sums folded in returned order must match the serial fold exactly
+        // — the property the evaluation protocols rely on.
+        let items: Vec<f64> = (0..1000).map(|i| 1.0 / (f64::from(i) + 1.0)).collect();
+        let serial: f64 = par_map(&items, 1, |_, &x| x.sin() * x).iter().sum();
+        for threads in [2, 3, 4, 7] {
+            let par: f64 = par_map(&items, threads, |_, &x| x.sin() * x).iter().sum();
+            assert_eq!(serial.to_bits(), par.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<i32> = par_map(&Vec::<i32>::new(), 8, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn catch_poisons_only_the_panicking_item() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let items: Vec<u32> = (0..40).collect();
+        for threads in [1, 4] {
+            let out = par_map_catch(&items, threads, |_, &x| {
+                assert!(x != 17, "poisoned shard {x}");
+                x + 1
+            });
+            for (i, r) in out.iter().enumerate() {
+                if i == 17 {
+                    let msg = r.as_ref().unwrap_err();
+                    assert!(msg.contains("poisoned shard 17"), "msg={msg}");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i as u32 + 1);
+                }
+            }
+        }
+        std::panic::set_hook(hook);
+    }
+
+    #[test]
+    fn explicit_thread_count_wins_and_is_clamped() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(0)), 1, "0 clamps to 1");
+    }
+
+    #[test]
+    fn default_thread_count_is_positive() {
+        // Whatever the environment says, the answer must be usable.
+        assert!(resolve_threads(None) >= 1);
+    }
+}

@@ -93,7 +93,7 @@ impl Default for KgeRecommenderConfig {
 pub struct KgeRecommender {
     /// Hyper-parameters.
     pub config: KgeRecommenderConfig,
-    state: Option<(Box<dyn KgeModel + Send>, UserItemGraph)>,
+    state: Option<(Box<dyn KgeModel>, UserItemGraph)>,
 }
 
 impl std::fmt::Debug for KgeRecommender {
@@ -161,7 +161,7 @@ impl Recommender for KgeRecommender {
             mut m: M,
             graph: &kgrec_graph::KnowledgeGraph,
             cfg: &TrainConfig,
-        ) -> Result<Box<dyn KgeModel + Send>, CoreError> {
+        ) -> Result<Box<dyn KgeModel>, CoreError> {
             let report = train_guarded(&mut m, graph, cfg, DivergencePolicy::default());
             if report.usable() {
                 Ok(Box::new(m))

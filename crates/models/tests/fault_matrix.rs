@@ -84,6 +84,50 @@ fn every_model_survives_every_fault() {
     );
 }
 
+/// Runs one matrix cell under the supervisor and renders the outcome the
+/// same way for the serial and the parallel runs.
+fn run_cell(fault: Fault, which: usize) -> String {
+    let mut dataset = matrix_bundle();
+    inject(&mut dataset, fault);
+    let train = dataset.interactions.clone();
+    let mut model = all_models(true).swap_remove(which);
+    let name = model.name();
+    let config = SupervisorConfig::default().with_max_retries(0);
+    let outcome = supervise_fit(model.as_mut(), &dataset, &train, &config);
+    format!(
+        "{name} × {fault}: {}{}",
+        outcome.status.label(),
+        outcome.reason.as_deref().map(|r| format!(" ({r})")).unwrap_or_default()
+    )
+}
+
+#[test]
+fn fault_matrix_on_the_pool_matches_serial_cell_for_cell() {
+    // The matrix deliberately provokes panics; the supervisor absorbs
+    // them inside each worker, so the pool must neither deadlock nor
+    // cross-contaminate cells. Every (fault × model) cell is one shard.
+    // Two faults keep the runtime sane: the id-space corruption that
+    // fails models outright (panic path) and the NaN corruption that
+    // degrades them (numeric path); the full matrix already runs
+    // serially in `every_model_survives_every_fault`.
+    std::panic::set_hook(Box::new(|_| {}));
+    let models = all_models(true).len();
+    let cells: Vec<(Fault, usize)> = [Fault::DanglingAlignment, Fault::NanRatings]
+        .iter()
+        .flat_map(|&fault| (0..models).map(move |which| (fault, which)))
+        .collect();
+    let serial: Vec<String> = cells.iter().map(|&(fault, which)| run_cell(fault, which)).collect();
+    let parallel =
+        kgrec_linalg::par::par_map(&cells, 4, |_, &(fault, which)| run_cell(fault, which));
+    assert_eq!(parallel, serial, "fault matrix diverged between 1 and 4 threads");
+    let _ = std::panic::take_hook();
+    assert!(
+        serial.iter().any(|o| o.contains("failed")),
+        "no fault produced a failure — injectors are toothless:\n{}",
+        serial.join("\n")
+    );
+}
+
 #[test]
 fn clean_bundle_trains_ok_under_supervision() {
     let dataset = matrix_bundle();

@@ -6,8 +6,9 @@
 //! cargo run --release -p kgrec-bench --example kge_link_prediction
 //! ```
 
+use kgrec_bench::par;
 use kgrec_data::synth::{generate, ScenarioConfig};
-use kgrec_kge::eval::link_prediction;
+use kgrec_kge::eval::link_prediction_par;
 use kgrec_kge::{train, DistMult, KgeModel, TrainConfig, TransD, TransE, TransH, TransR};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,6 +30,9 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(9);
     let n = graph.num_entities();
     let r = graph.num_relations();
+    // Filtered ranking shards test triples across the worker pool;
+    // reports are bit-identical at any thread count.
+    let threads = par::resolve_threads(None);
 
     let mut models: Vec<Box<dyn KgeModel>> = vec![
         Box::new(TransE::new(&mut rng, n, r, dim, 1.0)),
@@ -46,7 +50,7 @@ fn main() {
             cfg.clone()
         };
         train_boxed(m.as_mut(), graph, &cfg);
-        let rep = link_prediction(m.as_ref(), graph, &test).expect("nonempty test");
+        let rep = link_prediction_par(m.as_ref(), graph, &test, threads).expect("nonempty test");
         println!(
             "{:<10} {:>8.1} {:>8.4} {:>8.4} {:>8.4}",
             m.name(),

@@ -5,17 +5,18 @@
 //! cargo run --release -p kgrec-bench --example model_zoo
 //! ```
 
-use kgrec_bench::{evaluate_model, print_eval_table, standard_split};
+use kgrec_bench::{evaluate_model, par, print_eval_table, standard_split};
 use kgrec_data::synth::{generate, ScenarioConfig};
 use kgrec_models::registry::all_models;
 
 fn main() {
     let synth = generate(&ScenarioConfig::tiny(), 2024);
     let split = standard_split(&synth, 7);
+    let threads = par::resolve_threads(None);
     let mut rows = Vec::new();
     for mut model in all_models(false) {
         print!("training {:<12}\r", model.name());
-        if let Some(row) = evaluate_model(model.as_mut(), &synth, &split, 11) {
+        if let Some(row) = evaluate_model(model.as_mut(), &synth, &split, 11, threads) {
             rows.push(row);
         }
     }

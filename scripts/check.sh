@@ -20,4 +20,16 @@ echo "== eval_suite fault drill (graceful degradation smoke)"
 cargo run --release -p kgrec-bench --bin eval_suite -- --quick --inject-fault \
   | tail -n 3
 
+echo "== serial/parallel equivalence (eval_suite --threads 1 vs 4)"
+cargo build --release -p kgrec-bench --bin eval_suite
+./target/release/eval_suite --quick --no-timing --threads 1 > /tmp/kgrec_t1.txt
+./target/release/eval_suite --quick --no-timing --threads 4 > /tmp/kgrec_t4.txt
+diff -u /tmp/kgrec_t1.txt /tmp/kgrec_t4.txt \
+  || { echo "FAIL: metrics differ between 1 and 4 threads"; exit 1; }
+echo "   identical at 1 and 4 threads"
+
+echo "== benchmark baseline (BENCH_eval.json)"
+./target/release/eval_suite --quick --bench --threads 4 > /dev/null
+test -s BENCH_eval.json || { echo "FAIL: BENCH_eval.json missing"; exit 1; }
+
 echo "OK: all checks passed"

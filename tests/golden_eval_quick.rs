@@ -1,0 +1,57 @@
+//! Golden regression test: `eval_suite --quick --no-timing` must
+//! reproduce `tests/golden/eval_quick.txt` byte for byte — at one
+//! thread *and* at four. This pins two contracts at once:
+//!
+//! 1. the evaluation pipeline is deterministic across processes (seeded
+//!    RNG everywhere, no hash-order leakage into metrics);
+//! 2. the worker pool is invisible in the output: thread count changes
+//!    wall-clock only, which `--no-timing` masks.
+//!
+//! Regenerate after an intentional metrics change with:
+//! `cargo run --release -p kgrec-bench --bin eval_suite -- --quick \
+//!  --no-timing > tests/golden/eval_quick.txt`
+
+use std::process::Command;
+
+const GOLDEN: &str = include_str!("golden/eval_quick.txt");
+
+fn quick_suite_stdout(threads: &str) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_eval_suite"))
+        .args(["--quick", "--no-timing", "--threads", threads])
+        .output()
+        .expect("spawning eval_suite");
+    assert!(
+        out.status.success(),
+        "eval_suite --threads {threads} exited with {:?}:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("eval_suite stdout is UTF-8")
+}
+
+/// Diff-style assertion: on mismatch, name the first differing line so
+/// the failure is readable without an external diff tool.
+fn assert_matches_golden(actual: &str, label: &str) {
+    if actual == GOLDEN {
+        return;
+    }
+    for (n, (got, want)) in actual.lines().zip(GOLDEN.lines()).enumerate() {
+        assert_eq!(got, want, "{label}: first divergence at line {}", n + 1);
+    }
+    panic!(
+        "{label}: output is a strict prefix/extension of the golden file \
+         ({} vs {} lines)",
+        actual.lines().count(),
+        GOLDEN.lines().count()
+    );
+}
+
+#[test]
+fn quick_suite_matches_golden_serially() {
+    assert_matches_golden(&quick_suite_stdout("1"), "--threads 1");
+}
+
+#[test]
+fn quick_suite_matches_golden_on_four_threads() {
+    assert_matches_golden(&quick_suite_stdout("4"), "--threads 4");
+}

@@ -1,0 +1,161 @@
+//! Property tests for the parallel evaluation engine: the `_par`
+//! protocols and the worker pool itself must be bit-identical to their
+//! serial counterparts for *every* thread count and *every* input —
+//! including inputs engineered to produce score ties.
+
+use kgrec_bench::par;
+use kgrec_core::error::CoreError;
+use kgrec_core::protocol::{evaluate_ctr, evaluate_ctr_par, evaluate_topk, evaluate_topk_par};
+use kgrec_core::recommender::{Recommender, TrainContext};
+use kgrec_core::taxonomy::{Taxonomy, UsageType};
+use kgrec_data::interactions::{Interaction, InteractionMatrix};
+use kgrec_data::negative::LabeledPair;
+use kgrec_data::{ItemId, UserId};
+use proptest::prelude::*;
+
+/// Thread counts the equivalence claims are checked at: serial, even
+/// splits, and a prime that never divides the work evenly.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// SplitMix64 finalizer — a pure function of (user, item), so the model
+/// is trivially `Sync` and every worker computes identical scores.
+fn mix(user: u32, item: u32) -> u64 {
+    let mut z = ((u64::from(user) << 32) | u64::from(item)).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A stateless scorer over hashed (user, item) pairs. `tie_levels > 1`
+/// quantizes scores into that many buckets, forcing massive ties so the
+/// ranking tie-break (smaller item id first) is actually exercised.
+struct MixModel {
+    items: usize,
+    tie_levels: u32,
+}
+
+impl Recommender for MixModel {
+    fn name(&self) -> &'static str {
+        "MixModel"
+    }
+    fn taxonomy(&self) -> Taxonomy {
+        Taxonomy {
+            method: "MixModel",
+            venue: "none",
+            year: 2026,
+            usage: UsageType::EmbeddingBased,
+            techniques: &[],
+            reference: 0,
+        }
+    }
+    fn fit(&mut self, _ctx: &TrainContext<'_>) -> Result<(), CoreError> {
+        Ok(())
+    }
+    fn score(&self, user: UserId, item: ItemId) -> f32 {
+        let h = mix(user.0, item.0);
+        if self.tie_levels <= 1 {
+            (h % 4096) as f32 / 4096.0
+        } else {
+            (h % u64::from(self.tie_levels)) as f32
+        }
+    }
+    fn num_items(&self) -> usize {
+        self.items
+    }
+}
+
+fn arb_pairs() -> impl Strategy<Value = Vec<LabeledPair>> {
+    prop::collection::vec((0u32..40, 0u32..80, any::<bool>()), 1..200).prop_map(|v| {
+        v.into_iter()
+            .map(|(u, i, positive)| LabeledPair { user: UserId(u), item: ItemId(i), positive })
+            .collect()
+    })
+}
+
+/// Random train/test interaction matrices over a shared (users, items)
+/// shape; every third unique interaction lands in the test split.
+fn arb_split() -> impl Strategy<Value = (InteractionMatrix, InteractionMatrix, usize)> {
+    (2usize..16, 6usize..40)
+        .prop_flat_map(|(nu, ni)| {
+            let interactions = prop::collection::btree_set((0..nu as u32, 0..ni as u32), 1..120);
+            (Just(nu), Just(ni), interactions)
+        })
+        .prop_map(|(nu, ni, set)| {
+            let (mut train, mut test) = (Vec::new(), Vec::new());
+            for (idx, (u, i)) in set.into_iter().enumerate() {
+                let interaction = Interaction::implicit(UserId(u), ItemId(i));
+                if idx % 3 == 0 {
+                    test.push(interaction);
+                } else {
+                    train.push(interaction);
+                }
+            }
+            (
+                InteractionMatrix::from_interactions(nu, ni, &train),
+                InteractionMatrix::from_interactions(nu, ni, &test),
+                ni,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ctr_report_is_thread_count_invariant(pairs in arb_pairs(), ties in 1u32..5) {
+        let model = MixModel { items: 80, tie_levels: ties };
+        let serial = evaluate_ctr(&model, &pairs);
+        for threads in THREAD_COUNTS {
+            // `assert_eq!` on the report compares AUC/accuracy as exact
+            // f64 bits — the contract is bit-identity, not tolerance.
+            prop_assert_eq!(evaluate_ctr_par(&model, &pairs, threads), serial);
+        }
+    }
+
+    #[test]
+    fn topk_report_is_thread_count_invariant(
+        (train, test, items) in arb_split(),
+        ties in 1u32..5,
+    ) {
+        let model = MixModel { items, tie_levels: ties };
+        let ks = [1usize, 3, 7];
+        let serial = evaluate_topk(&model, &train, &test, &ks);
+        for threads in THREAD_COUNTS {
+            prop_assert_eq!(
+                evaluate_topk_par(&model, &train, &test, &ks, threads),
+                serial.clone()
+            );
+        }
+    }
+
+    #[test]
+    fn tied_scores_break_toward_smaller_item_id(
+        (train, _test, items) in arb_split(),
+        ties in 2u32..4,
+    ) {
+        // With 2–3 score levels almost every adjacent pair ties; the
+        // ranking must still be the same total order everywhere.
+        let model = MixModel { items, tie_levels: ties };
+        for u in 0..train.num_users() as u32 {
+            let recs = model.recommend(UserId(u), items, &[]);
+            for w in recs.windows(2) {
+                let ((a_item, a_score), (b_item, b_score)) = (w[0], w[1]);
+                prop_assert!(
+                    a_score > b_score || (a_score == b_score && a_item.0 < b_item.0),
+                    "user {}: ({:?}, {}) before ({:?}, {}) breaks the tie order",
+                    u, a_item, a_score, b_item, b_score
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_is_an_order_preserving_identity(
+        items in prop::collection::vec(-1.0e6f64..1.0e6, 0..300),
+        threads in 1usize..9,
+    ) {
+        let indexed = par::par_map(&items, threads, |i, &x| (i, x));
+        let expected: Vec<(usize, f64)> = items.iter().copied().enumerate().collect();
+        prop_assert_eq!(indexed, expected);
+    }
+}
