@@ -148,7 +148,7 @@ impl BenchReport {
 
 /// JSON-safe float: finite values print as-is, non-finite ones (a model
 /// bug upstream, but the report must never be invalid JSON) become null.
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.6}")
     } else {
@@ -158,7 +158,7 @@ fn json_f64(v: f64) -> String {
 
 /// Minimal JSON string escaping — model/scenario names are ASCII today,
 /// but a future name must not be able to corrupt the document.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -1,0 +1,138 @@
+//! Microbenchmarks for the numeric hot-path kernels, written to
+//! `BENCH_kernels.json`.
+//!
+//! Covers the kernel layer this repo's training and ranking paths run
+//! on: the unrolled dot product, the allocation-free `*_into` vector
+//! ops, blocked matmul/transpose, select-based top-K, and the fused
+//! per-family KGE score kernels. `--quick` shrinks sizes and rep counts
+//! for CI smoke runs; `--out PATH` overrides the output location.
+//!
+//! Every kernel folds its result into a checksum passed through
+//! `std::hint::black_box`, so the optimizer cannot delete the measured
+//! work.
+
+use kgrec_bench::kernel_report::{KernelEntry, KernelReport, KERNEL_BENCH_PATH};
+use kgrec_graph::{EntityId, RelationId};
+use kgrec_kge::{DistMult, KgeModel, TransE, TransH, TransR};
+use kgrec_linalg::{vector, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `reps` runs of `f`, which must return a value folding in the
+/// kernel's output. Returns the finished entry.
+fn time_kernel<F: FnMut() -> f32>(name: &str, n: usize, reps: usize, mut f: F) -> KernelEntry {
+    // One warm-up rep so page faults and lazy init stay out of the timing.
+    let mut checksum = f64::from(black_box(f()));
+    let started = Instant::now();
+    for _ in 0..reps {
+        checksum += f64::from(black_box(f()));
+    }
+    let total = started.elapsed().as_secs_f64();
+    KernelEntry::new(name, n, reps, total, checksum)
+}
+
+fn filled(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or(KERNEL_BENCH_PATH, String::as_str);
+
+    let dim = 64;
+    let reps = if quick { 2_000 } else { 200_000 };
+    let mat_reps = if quick { 20 } else { 2_000 };
+    let topk_reps = if quick { 200 } else { 20_000 };
+
+    let mut report = KernelReport::new(quick);
+
+    // --- Vector kernels ---
+    let a = filled(dim, 1);
+    let b = filled(dim, 2);
+    let mut out = vec![0.0f32; dim];
+    report.push(time_kernel(&format!("dot/{dim}"), dim, reps, || vector::dot(&a, &b)));
+    report.push(time_kernel(&format!("add_into/{dim}"), dim, reps, || {
+        vector::add_into(&a, &b, &mut out);
+        out[0]
+    }));
+    report.push(time_kernel(&format!("sub_into/{dim}"), dim, reps, || {
+        vector::sub_into(&a, &b, &mut out);
+        out[0]
+    }));
+    report.push(time_kernel(&format!("mul_into/{dim}"), dim, reps, || {
+        vector::mul_into(&a, &b, &mut out);
+        out[0]
+    }));
+    report.push(time_kernel(&format!("scale_assign/{dim}"), dim, reps, || {
+        vector::scale_assign(1.0001, &a, &mut out);
+        out[0]
+    }));
+    report.push(time_kernel(&format!("axpy/{dim}"), dim, reps, || {
+        out.fill(0.0);
+        vector::axpy(0.5, &a, &mut out);
+        out[0]
+    }));
+
+    // --- Matrix kernels ---
+    let (rows, inner, cols) = if quick { (24, 48, 24) } else { (48, 96, 48) };
+    let am = Matrix::from_vec(rows, inner, filled(rows * inner, 3));
+    let bm = Matrix::from_vec(inner, cols, filled(inner * cols, 4));
+    let x = filled(inner, 5);
+    let mut y = vec![0.0f32; rows];
+    report.push(time_kernel(
+        &format!("matmul/{rows}x{inner}x{cols}"),
+        rows * inner * cols,
+        mat_reps,
+        || am.matmul(&bm).data()[0],
+    ));
+    report.push(time_kernel(&format!("transpose/{rows}x{inner}"), rows * inner, mat_reps, || {
+        am.transpose().data()[0]
+    }));
+    report.push(time_kernel(&format!("matvec_into/{rows}x{inner}"), rows * inner, reps, || {
+        am.matvec_into(&x, &mut y);
+        y[0]
+    }));
+
+    // --- Ranking kernel ---
+    let scores = filled(if quick { 512 } else { 4096 }, 6);
+    let k = 10;
+    report.push(time_kernel(
+        &format!("top_k/{}@{k}", scores.len()),
+        scores.len(),
+        topk_reps,
+        || vector::top_k_indices(&scores, k)[0] as f32,
+    ));
+
+    // --- Fused KGE score kernels ---
+    let mut rng = StdRng::seed_from_u64(7);
+    let (ne, nr) = (100, 8);
+    let kge_reps = if quick { 2_000 } else { 100_000 };
+    let transe = TransE::new(&mut rng, ne, nr, dim, 1.0);
+    let transh = TransH::new(&mut rng, ne, nr, dim, 1.0);
+    let transr = TransR::new(&mut rng, ne, nr, dim, dim / 2, 1.0);
+    let distmult = DistMult::new(&mut rng, ne, nr, dim);
+    let (h, r, t) = (EntityId(3), RelationId(1), EntityId(57));
+    report
+        .push(time_kernel(&format!("transe_score/{dim}"), dim, kge_reps, || transe.score(h, r, t)));
+    report
+        .push(time_kernel(&format!("transh_score/{dim}"), dim, kge_reps, || transh.score(h, r, t)));
+    report
+        .push(time_kernel(&format!("transr_score/{dim}"), dim, kge_reps, || transr.score(h, r, t)));
+    report.push(time_kernel(&format!("distmult_score/{dim}"), dim, kge_reps, || {
+        distmult.score(h, r, t)
+    }));
+
+    report.write_to(std::path::Path::new(out_path)).expect("writing kernel report");
+    println!("kernel_bench: {} kernels -> {out_path}", report.entries.len());
+    for e in &report.entries {
+        println!("  {:<24} {:>12.1} ns/op  ({} reps)", e.name, e.ns_per_op, e.reps);
+    }
+}

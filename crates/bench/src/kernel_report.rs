@@ -1,0 +1,139 @@
+//! Kernel microbenchmark recording: per-kernel nanoseconds-per-op,
+//! serialized to `BENCH_kernels.json`.
+//!
+//! `kernel_bench` is the writer. Where `BENCH_eval.json` tracks the
+//! suite-level perf trajectory, this file tracks the numeric hot-path
+//! kernels underneath it (dot, the `*_into` vector ops, blocked matmul,
+//! select-based top-K, fused KGE scores) so a kernel regression is
+//! visible before it smears into end-to-end wall time. Same hand-rolled
+//! flat JSON as `bench_report` — the workspace is dependency-free.
+//!
+//! Timings are wall-clock and machine-dependent; the `checksum` field is
+//! deterministic per kernel and exists to keep the optimizer from
+//! deleting the measured work (and doubles as a cheap cross-run sanity
+//! value).
+
+use crate::bench_report::{json_f64, json_str};
+use std::io::Write;
+use std::path::Path;
+
+/// Default output path, relative to the invocation directory.
+pub const KERNEL_BENCH_PATH: &str = "BENCH_kernels.json";
+
+/// One measured kernel.
+#[derive(Debug, Clone)]
+pub struct KernelEntry {
+    /// Kernel name, e.g. `dot/256`.
+    pub name: String,
+    /// Problem size (vector length or matrix elements).
+    pub n: usize,
+    /// Repetitions timed.
+    pub reps: usize,
+    /// Total wall-clock seconds for all repetitions.
+    pub total_secs: f64,
+    /// Nanoseconds per repetition.
+    pub ns_per_op: f64,
+    /// Deterministic result checksum (keeps the work observable).
+    pub checksum: f64,
+}
+
+impl KernelEntry {
+    /// Builds an entry from a raw measurement.
+    pub fn new(name: &str, n: usize, reps: usize, total_secs: f64, checksum: f64) -> Self {
+        let ns_per_op = if reps > 0 { total_secs * 1e9 / reps as f64 } else { 0.0 };
+        Self { name: name.to_owned(), n, reps, total_secs, ns_per_op, checksum }
+    }
+}
+
+/// The kernel benchmark report.
+#[derive(Debug, Clone, Default)]
+pub struct KernelReport {
+    /// Whether the run used the reduced `--quick` sizes.
+    pub quick: bool,
+    /// Measured kernels, in execution order.
+    pub entries: Vec<KernelEntry>,
+}
+
+impl KernelReport {
+    /// Creates an empty report.
+    pub fn new(quick: bool) -> Self {
+        Self { quick, entries: Vec::new() }
+    }
+
+    /// Appends one measurement.
+    pub fn push(&mut self, entry: KernelEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Renders the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"generator\": \"kernel_bench\",\n");
+        s.push_str(&format!("  \"quick\": {},\n", self.quick));
+        s.push_str(&format!("  \"kernel_count\": {},\n", self.entries.len()));
+        s.push_str("  \"kernels\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"kernel\": {}, \"n\": {}, \"reps\": {}, \"total_secs\": {}, \
+                 \"ns_per_op\": {}, \"checksum\": {}}}{}\n",
+                json_str(&e.name),
+                e.n,
+                e.reps,
+                json_f64(e.total_secs),
+                json_f64(e.ns_per_op),
+                json_f64(e.checksum),
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Writes the JSON document to `path`.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_per_op_is_total_over_reps() {
+        let e = KernelEntry::new("dot/256", 256, 1000, 0.002, 1.5);
+        assert!((e.ns_per_op - 2000.0).abs() < 1e-6);
+        let z = KernelEntry::new("noop", 0, 0, 0.0, 0.0);
+        assert_eq!(z.ns_per_op, 0.0);
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let mut r = KernelReport::new(true);
+        r.push(KernelEntry::new("dot/256", 256, 10, 0.001, 3.25));
+        r.push(KernelEntry::new("mat\"mul", 4096, 5, f64::NAN, 0.0));
+        let json = r.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"quick\": true"));
+        assert!(json.contains("\"kernel_count\": 2"));
+        assert!(json.contains("mat\\\"mul"), "quotes must be escaped: {json}");
+        assert!(json.contains("\"total_secs\": null"));
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn write_to_round_trips() {
+        let dir = std::env::temp_dir().join("kgrec_kernel_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(KERNEL_BENCH_PATH);
+        let mut r = KernelReport::new(false);
+        r.push(KernelEntry::new("axpy/128", 128, 100, 0.01, 2.0));
+        r.write_to(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, r.to_json());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -11,19 +11,22 @@
 //! | `figure1` | Figure 1 — the explainable movie-recommendation example |
 //! | `eval_suite` | the survey's qualitative claims, measured |
 //! | `ablation` | design-choice ablations (KGCN aggregators, RippleNet hops) |
+//! | `kernel_bench` | numeric hot-path kernel timings → `BENCH_kernels.json` |
 //!
 //! Evaluation is parallel by default: models shard across the
 //! deterministic worker pool ([`par`], re-exported from
 //! `kgrec_linalg::par`), with `--threads N` / `KGREC_THREADS` selecting
 //! the worker count and metrics bit-identical at any setting.
 //! `eval_suite --bench` additionally records the perf trajectory to
-//! `BENCH_eval.json` via [`bench_report`].
+//! `BENCH_eval.json` via [`bench_report`], and `kernel_bench` records
+//! kernel-level timings to `BENCH_kernels.json` via [`kernel_report`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod bench_report;
 pub mod doubles;
+pub mod kernel_report;
 
 pub use kgrec_linalg::par;
 

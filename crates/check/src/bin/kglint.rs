@@ -2,11 +2,15 @@
 //!
 //! ```text
 //! kglint [--scenario NAME]... [--seed N] [--strict] [--max-hops H] [--no-split]
+//! kglint --src [ROOT] [--strict]
 //! ```
 //!
-//! With no `--scenario` the full synthetic family is checked. Exit code
-//! 0 when clean, 1 when the report fails (errors, or warnings under
-//! `--strict`), 2 on usage errors.
+//! With no `--scenario` the full synthetic family is checked. `--src`
+//! switches to the source-scanning rules instead (`MD006`: allocating
+//! vector ops inside epoch loops), walking `crates/models/src` and
+//! `crates/kge/src` under `ROOT` (default `.`). Exit code 0 when clean,
+//! 1 when the report fails (errors, or warnings under `--strict`; every
+//! `--src` finding fails under `--strict`), 2 on usage errors.
 
 use kgrec_check::{default_model_hyperparams, CheckBundle, CheckReport};
 use kgrec_data::negative::labeled_eval_set;
@@ -46,10 +50,35 @@ const ALL_SCENARIOS: &[&str] = &[
 fn usage() -> ExitCode {
     eprintln!(
         "usage: kglint [--scenario NAME]... [--seed N] [--strict] [--max-hops H] [--no-split]\n\
+         \x20      kglint --src [ROOT] [--strict]\n\
          scenarios: {}",
         ALL_SCENARIOS.join(", ")
     );
     ExitCode::from(2)
+}
+
+/// Runs the source-scanning rules over the hot-path crates under `root`.
+fn run_src_scan(root: &str, strict: bool) -> ExitCode {
+    let mut diags = Vec::new();
+    for rel in ["crates/models/src", "crates/kge/src"] {
+        let dir = std::path::Path::new(root).join(rel);
+        match kgrec_check::srclint::scan_dir(&dir) {
+            Ok(found) => diags.extend(found),
+            Err(e) => {
+                eprintln!("kglint: cannot scan {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    if !diags.is_empty() && strict {
+        eprintln!("kglint: FAILED ({} source finding(s) in strict mode)", diags.len());
+        return ExitCode::FAILURE;
+    }
+    println!("kglint: source scan {} finding(s)", diags.len());
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -58,6 +87,7 @@ fn main() -> ExitCode {
     let mut strict = false;
     let mut max_hops = 3usize;
     let mut with_split = true;
+    let mut src_root: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -65,6 +95,18 @@ fn main() -> ExitCode {
                 Some(name) => scenarios.push(name),
                 None => return usage(),
             },
+            "--src" => {
+                // Optional ROOT operand; flags keep their meaning.
+                src_root = Some(match args.next() {
+                    Some(next) if !next.starts_with("--") => next,
+                    Some(flag) if flag == "--strict" => {
+                        strict = true;
+                        ".".to_owned()
+                    }
+                    Some(_) => return usage(),
+                    None => ".".to_owned(),
+                });
+            }
             "--seed" => match args.next().and_then(|s| s.parse().ok()) {
                 Some(s) => seed = s,
                 None => return usage(),
@@ -81,6 +123,9 @@ fn main() -> ExitCode {
             }
             _ => return usage(),
         }
+    }
+    if let Some(root) = src_root {
+        return run_src_scan(&root, strict);
     }
     if scenarios.is_empty() {
         scenarios = ALL_SCENARIOS.iter().map(|s| (*s).to_string()).collect();

@@ -69,6 +69,13 @@ pub enum Subject {
     },
     /// A named float buffer attached for auditing.
     Values(String),
+    /// A source location (`path:line`), used by the source-scanning rules.
+    Source {
+        /// Path of the offending file, as given to the scanner.
+        file: String,
+        /// 1-based line number.
+        line: usize,
+    },
 }
 
 impl fmt::Display for Subject {
@@ -88,6 +95,7 @@ impl fmt::Display for Subject {
             Subject::MetaPath(p) => write!(f, "meta-path {p}"),
             Subject::Param { model, name } => write!(f, "param {model}.{name}"),
             Subject::Values(n) => write!(f, "values {n}"),
+            Subject::Source { file, line } => write!(f, "{file}:{line}"),
         }
     }
 }

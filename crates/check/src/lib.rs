@@ -34,6 +34,7 @@ pub mod bundle;
 pub mod diagnostic;
 pub mod report;
 pub mod rules;
+pub mod srclint;
 
 pub use bundle::{default_model_hyperparams, CheckBundle, FloatAudit, HyperParam};
 pub use diagnostic::{Diagnostic, Severity, Subject};

@@ -1,0 +1,185 @@
+//! `MD006`: source-level scan for allocating vector ops in epoch loops.
+//!
+//! The kernel layer (`kgrec_linalg::vector`) keeps two flavors of every
+//! binary vector op: an allocating one (`add`, `sub`, `hadamard`,
+//! `softmax`) for cold paths and tests, and an `*_into` / in-place one
+//! for hot paths. Allocating inside a training epoch loop is the exact
+//! regression this PR's kernel work removed, so `kglint --src` walks
+//! `crates/models` and `crates/kge` and flags any call to an allocating
+//! vector op that sits lexically inside a `for … epoch …` loop.
+//!
+//! The scanner is a deliberate heuristic, not a parser: it tracks brace
+//! depth line-by-line (stripping `//` comments) and treats any `for`
+//! statement whose header mentions `epoch` as a training loop. That is
+//! precise enough for this codebase's rustfmt-normalized sources, and a
+//! false positive is cheap — the fix it demands (use the `*_into`
+//! variant) is the right change anyway.
+
+use crate::diagnostic::{Diagnostic, Severity, Subject};
+use std::path::Path;
+
+/// Allocating `kgrec_linalg::vector` calls that have an `*_into` or
+/// in-place replacement.
+const FLAGGED_CALLS: &[&str] =
+    &["vector::add(", "vector::sub(", "vector::hadamard(", "vector::softmax("];
+
+/// Strips a line comment, ignoring `//` inside string literals only to
+/// the extent of counting unescaped quotes before it (good enough for
+/// rustfmt-normalized source).
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return &line[..i];
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Scans one file's source text; `file` labels the diagnostics.
+pub fn scan_source(file: &str, src: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut depth: i64 = 0;
+    // Brace depths at which an epoch loop was opened; the loop body is
+    // everything until depth returns to the recorded value.
+    let mut loops: Vec<i64> = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw);
+        // Calls on the `for` header line itself are not in the body.
+        let is_epoch_for = line.trim_start().starts_with("for ") && line.contains("epoch");
+        if !loops.is_empty() && !is_epoch_for {
+            for call in FLAGGED_CALLS {
+                if line.contains(call) {
+                    out.push(Diagnostic::new(
+                        "MD006",
+                        Severity::Warning,
+                        Subject::Source { file: file.to_owned(), line: idx + 1 },
+                        format!(
+                            "allocating `{}…)` inside an epoch loop — use the `*_into` or \
+                             in-place kernel variant",
+                            call.trim_end_matches('(')
+                        ),
+                    ));
+                }
+            }
+        }
+        if is_epoch_for {
+            loops.push(depth);
+        }
+        for ch in line.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    while loops.last() == Some(&depth) {
+                        loops.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Recursively scans every `.rs` file under `root`, labelling
+/// diagnostics with paths relative to the invocation directory.
+pub fn scan_dir(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for path in files {
+        let src = std::fs::read_to_string(&path)?;
+        out.extend(scan_source(&path.display().to_string(), &src));
+    }
+    Ok(out)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIXTURE: &str = r#"
+fn fit(&mut self) {
+    for _ in 0..self.config.epochs {
+        let s = vector::add(a, b); // flagged
+        helper();
+        if cond {
+            let h = vector::hadamard(a, b); // flagged (nested block)
+        }
+    }
+    // outside any epoch loop: not flagged
+    let t = vector::add(a, b);
+    for item in items {
+        let u = vector::sub(a, b); // not an epoch loop
+    }
+    for epoch in 0..n {
+        vector::add_into(a, b, &mut out); // into-variant: fine
+        // vector::sub(a, b) in a comment: fine
+    }
+}
+"#;
+
+    #[test]
+    fn flags_allocating_calls_only_inside_epoch_loops() {
+        let diags = scan_source("fixture.rs", FIXTURE);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.code == "MD006"));
+        let lines: Vec<usize> = diags
+            .iter()
+            .map(|d| match &d.subject {
+                Subject::Source { line, .. } => *line,
+                other => panic!("unexpected subject {other:?}"),
+            })
+            .collect();
+        assert_eq!(lines, vec![4, 7]);
+    }
+
+    #[test]
+    fn into_variants_and_comments_are_clean() {
+        let diags = scan_source("fixture.rs", FIXTURE);
+        assert!(diags.iter().all(|d| {
+            let Subject::Source { line, .. } = &d.subject else { panic!() };
+            *line < 10
+        }));
+    }
+
+    #[test]
+    fn header_line_calls_are_not_flagged() {
+        let src = "for p in vector::softmax(&scores) { // epoch weights\n}\n";
+        // `epoch` appears only in a comment stripped before matching, and
+        // the call sits on the header line, not in a body.
+        assert!(scan_source("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn repo_hot_paths_are_clean() {
+        // The rule guards the actual model/kge sources; they must pass.
+        for root in ["../models/src", "../kge/src"] {
+            let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join(root);
+            let diags = scan_dir(&dir).unwrap();
+            assert!(diags.is_empty(), "MD006 findings in {root}: {diags:?}");
+        }
+    }
+}

@@ -8,16 +8,34 @@
 
 use crate::model::KgeModel;
 use kgrec_graph::{EntityId, RelationId, Triple};
-use kgrec_linalg::{vector, EmbeddingTable};
+use kgrec_linalg::{vector, EmbeddingTable, Scratch};
 use rand::Rng;
 
 /// The DistMult model.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DistMult {
     entities: EmbeddingTable,
     relations: EmbeddingTable,
+    scratch: Scratch,
     /// L2 regularization coefficient.
     pub l2: f32,
+}
+
+impl Clone for DistMult {
+    fn clone(&self) -> Self {
+        Self {
+            entities: self.entities.clone(),
+            relations: self.relations.clone(),
+            scratch: Scratch::new(),
+            l2: self.l2,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.entities.clone_from(&source.entities);
+        self.relations.clone_from(&source.relations);
+        self.l2 = source.l2;
+    }
 }
 
 impl DistMult {
@@ -31,6 +49,7 @@ impl DistMult {
         Self {
             entities: EmbeddingTable::xavier(rng, num_entities, dim),
             relations: EmbeddingTable::xavier(rng, num_relations, dim),
+            scratch: Scratch::new(),
             l2: 1e-4,
         }
     }
@@ -55,18 +74,26 @@ impl DistMult {
         let loss = vector::softplus(-label * s);
         // ∂loss/∂s = −label · σ(−label·s)
         let dl_ds = -label * vector::sigmoid(-label * s);
-        let hv = self.entities.row(h.index()).to_vec();
-        let rv = self.relations.row(r.index()).to_vec();
-        let tv = self.entities.row(t.index()).to_vec();
-        let grad_h: Vec<f32> =
-            (0..hv.len()).map(|i| dl_ds * rv[i] * tv[i] + self.l2 * hv[i]).collect();
-        let grad_r: Vec<f32> =
-            (0..hv.len()).map(|i| dl_ds * hv[i] * tv[i] + self.l2 * rv[i]).collect();
-        let grad_t: Vec<f32> =
-            (0..hv.len()).map(|i| dl_ds * hv[i] * rv[i] + self.l2 * tv[i]).collect();
+        let d = self.entities.dim();
+        let mut grad_h = self.scratch.take(d);
+        let mut grad_r = self.scratch.take(d);
+        let mut grad_t = self.scratch.take(d);
+        {
+            let hv = self.entities.row(h.index());
+            let rv = self.relations.row(r.index());
+            let tv = self.entities.row(t.index());
+            for i in 0..d {
+                grad_h[i] = dl_ds * rv[i] * tv[i] + self.l2 * hv[i];
+                grad_r[i] = dl_ds * hv[i] * tv[i] + self.l2 * rv[i];
+                grad_t[i] = dl_ds * hv[i] * rv[i] + self.l2 * tv[i];
+            }
+        }
         self.entities.add_to_row(h.index(), -lr, &grad_h);
         self.relations.add_to_row(r.index(), -lr, &grad_r);
         self.entities.add_to_row(t.index(), -lr, &grad_t);
+        self.scratch.put(grad_h);
+        self.scratch.put(grad_r);
+        self.scratch.put(grad_t);
         loss
     }
 

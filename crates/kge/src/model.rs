@@ -35,6 +35,21 @@ pub trait KgeModel: Send + Sync {
     /// pair's loss *before* the update.
     fn train_pair(&mut self, pos: Triple, neg: Triple, lr: f32) -> f32;
 
+    /// SGD steps over a pre-drawn batch of (positive, negative) pairs,
+    /// pushing each pair's loss onto `losses` in order.
+    ///
+    /// The default applies `train_pair` sequentially, so the parameter
+    /// trajectory and the per-pair losses are exactly those of the
+    /// unbatched loop; implementations may override to amortise per-pair
+    /// setup but must preserve both properties (the trainer accumulates
+    /// the returned losses in pair order, and the golden evaluation
+    /// transcript pins the resulting parameters bit-for-bit).
+    fn train_batch(&mut self, pairs: &[(Triple, Triple)], lr: f32, losses: &mut Vec<f32>) {
+        for &(pos, neg) in pairs {
+            losses.push(self.train_pair(pos, neg, lr));
+        }
+    }
+
     /// Applies per-epoch constraints (norm projections). Default: nothing.
     fn post_epoch(&mut self) {}
 

@@ -106,6 +106,15 @@ where
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut order: Vec<usize> = (0..graph.num_triples()).collect();
     let mut curve = Vec::with_capacity(config.epochs);
+    // Reusable batch buffers: corruption draws are front-loaded per chunk
+    // so the model sees a contiguous slice of pairs (`train_batch`) instead
+    // of an alternating sample/update cadence. The RNG stream is identical
+    // to the per-pair loop because `train_pair` never touches the RNG, and
+    // the loss accumulation order is identical because `train_batch`
+    // reports per-pair losses in order.
+    const BATCH: usize = 64;
+    let mut batch: Vec<(Triple, Triple)> = Vec::with_capacity(BATCH);
+    let mut losses: Vec<f32> = Vec::with_capacity(BATCH);
     for epoch in 0..config.epochs {
         // Fresh shuffle per epoch.
         for i in (1..order.len()).rev() {
@@ -113,10 +122,18 @@ where
             order.swap(i, j);
         }
         let mut total = 0.0f64;
-        for &idx in &order {
-            let pos = graph.triples()[idx];
-            let neg = corrupt(graph, pos, &mut rng);
-            total += f64::from(model.train_pair(pos, neg, config.learning_rate));
+        for chunk in order.chunks(BATCH) {
+            batch.clear();
+            for &idx in chunk {
+                let pos = graph.triples()[idx];
+                batch.push((pos, corrupt(graph, pos, &mut rng)));
+            }
+            losses.clear();
+            model.train_batch(&batch, config.learning_rate, &mut losses);
+            debug_assert_eq!(losses.len(), batch.len(), "train_batch must report every pair");
+            for &loss in &losses {
+                total += f64::from(loss);
+            }
         }
         model.post_epoch();
         let denom = order.len().max(1) as f64;
@@ -180,9 +197,15 @@ pub fn train_guarded<M: KgeModel + Clone>(
         match monitor.observe(stats.mean_loss) {
             LossVerdict::Healthy => {
                 // `best_loss` equals this epoch's loss exactly when the
-                // epoch improved on (or tied) every loss before it.
+                // epoch improved on (or tied) every loss before it. The
+                // snapshot is written into a preallocated buffer
+                // (`clone_from` reuses the tables' allocations), so only
+                // the first accepted epoch pays for allocation.
                 if monitor.best_loss() == Some(stats.mean_loss) {
-                    snapshot = Some(m.clone());
+                    match &mut snapshot {
+                        Some(s) => s.clone_from(m),
+                        None => snapshot = Some(m.clone()),
+                    }
                 }
                 TrainControl::Continue
             }

@@ -9,18 +9,40 @@
 
 use crate::model::KgeModel;
 use kgrec_graph::{EntityId, RelationId, Triple};
-use kgrec_linalg::{vector, EmbeddingTable};
+use kgrec_linalg::{vector, EmbeddingTable, Scratch};
 use rand::Rng;
 
 /// The TransD model (entity dim == relation dim).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct TransD {
     entities: EmbeddingTable,
     entity_proj: EmbeddingTable,
     relations: EmbeddingTable,
     relation_proj: EmbeddingTable,
+    scratch: Scratch,
     /// Ranking margin `γ`.
     pub margin: f32,
+}
+
+impl Clone for TransD {
+    fn clone(&self) -> Self {
+        Self {
+            entities: self.entities.clone(),
+            entity_proj: self.entity_proj.clone(),
+            relations: self.relations.clone(),
+            relation_proj: self.relation_proj.clone(),
+            scratch: Scratch::new(),
+            margin: self.margin,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.entities.clone_from(&source.entities);
+        self.entity_proj.clone_from(&source.entity_proj);
+        self.relations.clone_from(&source.relations);
+        self.relation_proj.clone_from(&source.relation_proj);
+        self.margin = source.margin;
+    }
 }
 
 impl TransD {
@@ -37,25 +59,52 @@ impl TransD {
             entity_proj: EmbeddingTable::uniform(rng, num_entities, dim, 0.1),
             relations: EmbeddingTable::transe_init(rng, num_relations, dim),
             relation_proj: EmbeddingTable::uniform(rng, num_relations, dim, 0.1),
+            scratch: Scratch::new(),
             margin,
         }
     }
 
     /// Residual `v = h + a·r_p + r − t − b·r_p` with `a = h_pᵀh`,
     /// `b = t_pᵀt`.
+    #[cfg(test)]
     fn residual(&self, h: EntityId, r: RelationId, t: EntityId) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.entities.dim()];
+        self.residual_into(h, r, t, &mut v);
+        v
+    }
+
+    /// `residual` into a caller-owned buffer.
+    fn residual_into(&self, h: EntityId, r: RelationId, t: EntityId, out: &mut [f32]) {
         let hv = self.entities.row(h.index());
         let tv = self.entities.row(t.index());
         let rv = self.relations.row(r.index());
         let rp = self.relation_proj.row(r.index());
         let a = vector::dot(self.entity_proj.row(h.index()), hv);
         let b = vector::dot(self.entity_proj.row(t.index()), tv);
-        (0..hv.len()).map(|i| hv[i] + a * rp[i] + rv[i] - tv[i] - b * rp[i]).collect()
+        for i in 0..hv.len() {
+            out[i] = hv[i] + a * rp[i] + rv[i] - tv[i] - b * rp[i];
+        }
     }
 
     /// Dynamic-mapping distance; see module docs.
+    ///
+    /// Fused: each residual component feeds the running sum of squares
+    /// directly (same per-element expression and accumulation order as
+    /// `residual` + `norm_sq`, so the value is bit-identical) without
+    /// materialising the residual vector.
     pub fn distance(&self, h: EntityId, r: RelationId, t: EntityId) -> f32 {
-        vector::norm_sq(&self.residual(h, r, t))
+        let hv = self.entities.row(h.index());
+        let tv = self.entities.row(t.index());
+        let rv = self.relations.row(r.index());
+        let rp = self.relation_proj.row(r.index());
+        let a = vector::dot(self.entity_proj.row(h.index()), hv);
+        let b = vector::dot(self.entity_proj.row(t.index()), tv);
+        let mut acc = 0.0f32;
+        for i in 0..hv.len() {
+            let v = hv[i] + a * rp[i] + rv[i] - tv[i] - b * rp[i];
+            acc += v * v;
+        }
+        acc
     }
 
     /// Gradients (with `v` the residual, `c = r_pᵀv`):
@@ -64,22 +113,33 @@ impl TransD {
     /// `∂d/∂r  = 2v`,             `∂d/∂r_p = 2(a−b)·v`.
     fn apply(&mut self, triple: Triple, scale: f32, lr: f32) {
         let (h, r, t) = (triple.head, triple.rel, triple.tail);
-        let v = self.residual(h, r, t);
-        let hv = self.entities.row(h.index()).to_vec();
-        let tv = self.entities.row(t.index()).to_vec();
-        let hp = self.entity_proj.row(h.index()).to_vec();
-        let tp = self.entity_proj.row(t.index()).to_vec();
-        let rp = self.relation_proj.row(r.index()).to_vec();
-        let a = vector::dot(&hp, &hv);
-        let b = vector::dot(&tp, &tv);
-        let c = vector::dot(&rp, &v);
-
-        let grad_h: Vec<f32> = (0..v.len()).map(|i| 2.0 * (v[i] + c * hp[i])).collect();
-        let grad_hp: Vec<f32> = hv.iter().map(|x| 2.0 * c * x).collect();
-        let grad_t: Vec<f32> = (0..v.len()).map(|i| -2.0 * (v[i] + c * tp[i])).collect();
-        let grad_tp: Vec<f32> = tv.iter().map(|x| -2.0 * c * x).collect();
-        let grad_r: Vec<f32> = v.iter().map(|x| 2.0 * x).collect();
-        let grad_rp: Vec<f32> = v.iter().map(|x| 2.0 * (a - b) * x).collect();
+        let d = self.entities.dim();
+        let mut v = self.scratch.take(d);
+        let mut grad_h = self.scratch.take(d);
+        let mut grad_hp = self.scratch.take(d);
+        let mut grad_t = self.scratch.take(d);
+        let mut grad_tp = self.scratch.take(d);
+        let mut grad_r = self.scratch.take(d);
+        let mut grad_rp = self.scratch.take(d);
+        self.residual_into(h, r, t, &mut v);
+        {
+            let hv = self.entities.row(h.index());
+            let tv = self.entities.row(t.index());
+            let hp = self.entity_proj.row(h.index());
+            let tp = self.entity_proj.row(t.index());
+            let rp = self.relation_proj.row(r.index());
+            let a = vector::dot(hp, hv);
+            let b = vector::dot(tp, tv);
+            let c = vector::dot(rp, &v);
+            for i in 0..d {
+                grad_h[i] = 2.0 * (v[i] + c * hp[i]);
+                grad_hp[i] = 2.0 * c * hv[i];
+                grad_t[i] = -2.0 * (v[i] + c * tp[i]);
+                grad_tp[i] = -2.0 * c * tv[i];
+                grad_r[i] = 2.0 * v[i];
+                grad_rp[i] = 2.0 * (a - b) * v[i];
+            }
+        }
 
         self.entities.add_to_row(h.index(), -lr * scale, &grad_h);
         self.entity_proj.add_to_row(h.index(), -lr * scale, &grad_hp);
@@ -94,6 +154,13 @@ impl TransD {
         vector::project_to_ball(self.entity_proj.row_mut(h.index()), 1.0);
         vector::project_to_ball(self.entity_proj.row_mut(t.index()), 1.0);
         vector::project_to_ball(self.relation_proj.row_mut(r.index()), 1.0);
+        self.scratch.put(v);
+        self.scratch.put(grad_h);
+        self.scratch.put(grad_hp);
+        self.scratch.put(grad_t);
+        self.scratch.put(grad_tp);
+        self.scratch.put(grad_r);
+        self.scratch.put(grad_rp);
     }
 
     /// Read access to the entity table.

@@ -6,16 +6,36 @@
 
 use crate::model::KgeModel;
 use kgrec_graph::{EntityId, RelationId, Triple};
-use kgrec_linalg::EmbeddingTable;
+use kgrec_linalg::{EmbeddingTable, Scratch};
 use rand::Rng;
 
 /// The TransE model.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct TransE {
     entities: EmbeddingTable,
     relations: EmbeddingTable,
+    scratch: Scratch,
     /// Ranking margin `γ`.
     pub margin: f32,
+}
+
+impl Clone for TransE {
+    fn clone(&self) -> Self {
+        Self {
+            entities: self.entities.clone(),
+            relations: self.relations.clone(),
+            scratch: Scratch::new(),
+            margin: self.margin,
+        }
+    }
+
+    /// Copies parameters into the existing tables without reallocating;
+    /// the scratch arena is this model's own and is left untouched.
+    fn clone_from(&mut self, source: &Self) {
+        self.entities.clone_from(&source.entities);
+        self.relations.clone_from(&source.relations);
+        self.margin = source.margin;
+    }
 }
 
 impl TransE {
@@ -30,7 +50,7 @@ impl TransE {
         let entities = EmbeddingTable::transe_init(rng, num_entities, dim);
         let mut relations = EmbeddingTable::transe_init(rng, num_relations, dim);
         relations.normalize_rows();
-        Self { entities, relations, margin }
+        Self { entities, relations, scratch: Scratch::new(), margin }
     }
 
     /// Squared translation distance `‖h + r − t‖²`.
@@ -48,15 +68,27 @@ impl TransE {
 
     /// Gradient of the distance with respect to `(h, r, t)` as a single
     /// shared vector `g = 2(h + r − t)`: `∂d/∂h = ∂d/∂r = g`, `∂d/∂t = −g`.
+    #[cfg(test)]
     fn distance_grad(&self, h: EntityId, r: RelationId, t: EntityId) -> Vec<f32> {
+        let mut g = vec![0.0f32; self.entities.dim()];
+        self.distance_grad_into(h, r, t, &mut g);
+        g
+    }
+
+    /// `distance_grad` into a caller-owned buffer (the allocation-free
+    /// kernel behind `apply`).
+    fn distance_grad_into(&self, h: EntityId, r: RelationId, t: EntityId, g: &mut [f32]) {
         let hv = self.entities.row(h.index());
         let rv = self.relations.row(r.index());
         let tv = self.entities.row(t.index());
-        (0..hv.len()).map(|i| 2.0 * (hv[i] + rv[i] - tv[i])).collect()
+        for i in 0..hv.len() {
+            g[i] = 2.0 * (hv[i] + rv[i] - tv[i]);
+        }
     }
 
     fn apply(&mut self, triple: Triple, scale: f32, lr: f32) {
-        let g = self.distance_grad(triple.head, triple.rel, triple.tail);
+        let mut g = self.scratch.take(self.entities.dim());
+        self.distance_grad_into(triple.head, triple.rel, triple.tail, &mut g);
         self.entities.add_to_row(triple.head.index(), -lr * scale, &g);
         self.relations.add_to_row(triple.rel.index(), -lr * scale, &g);
         self.entities.add_to_row(triple.tail.index(), lr * scale, &g);
@@ -64,6 +96,7 @@ impl TransE {
         // without it the margin loss diverges on dense graphs.
         kgrec_linalg::vector::project_to_ball(self.entities.row_mut(triple.head.index()), 1.0);
         kgrec_linalg::vector::project_to_ball(self.entities.row_mut(triple.tail.index()), 1.0);
+        self.scratch.put(g);
     }
 
     /// Read access to the entity table (for downstream recommenders).

@@ -8,17 +8,37 @@
 
 use crate::model::KgeModel;
 use kgrec_graph::{EntityId, RelationId, Triple};
-use kgrec_linalg::{vector, EmbeddingTable};
+use kgrec_linalg::{vector, EmbeddingTable, Scratch};
 use rand::Rng;
 
 /// The TransH model.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct TransH {
     entities: EmbeddingTable,
     translations: EmbeddingTable,
     normals: EmbeddingTable,
+    scratch: Scratch,
     /// Ranking margin `γ`.
     pub margin: f32,
+}
+
+impl Clone for TransH {
+    fn clone(&self) -> Self {
+        Self {
+            entities: self.entities.clone(),
+            translations: self.translations.clone(),
+            normals: self.normals.clone(),
+            scratch: Scratch::new(),
+            margin: self.margin,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.entities.clone_from(&source.entities);
+        self.translations.clone_from(&source.translations);
+        self.normals.clone_from(&source.normals);
+        self.margin = source.margin;
+    }
 }
 
 impl TransH {
@@ -34,7 +54,7 @@ impl TransH {
         let translations = EmbeddingTable::transe_init(rng, num_relations, dim);
         let mut normals = EmbeddingTable::transe_init(rng, num_relations, dim);
         normals.normalize_rows();
-        Self { entities, translations, normals, margin }
+        Self { entities, translations, normals, scratch: Scratch::new(), margin }
     }
 
     /// Hyperplane distance; see module docs.
@@ -54,14 +74,24 @@ impl TransH {
     }
 
     /// The residual `v = h⊥ + d_r − t⊥` used by all gradients.
+    #[cfg(test)]
     fn residual(&self, h: EntityId, r: RelationId, t: EntityId) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.entities.dim()];
+        self.residual_into(h, r, t, &mut v);
+        v
+    }
+
+    /// `residual` into a caller-owned buffer.
+    fn residual_into(&self, h: EntityId, r: RelationId, t: EntityId, out: &mut [f32]) {
         let w = self.normals.row(r.index());
         let dr = self.translations.row(r.index());
         let hv = self.entities.row(h.index());
         let tv = self.entities.row(t.index());
         let ch = vector::dot(w, hv);
         let ct = vector::dot(w, tv);
-        (0..hv.len()).map(|i| (hv[i] - ch * w[i]) + dr[i] - (tv[i] - ct * w[i])).collect()
+        for i in 0..hv.len() {
+            out[i] = (hv[i] - ch * w[i]) + dr[i] - (tv[i] - ct * w[i]);
+        }
     }
 
     /// Applies `−lr·scale·∂d/∂θ` to every parameter of the triple.
@@ -69,18 +99,31 @@ impl TransH {
     /// Derivation (with `u = h − t`, `c = wᵀu`, `v = u − c·w + d_r`):
     /// `∂d/∂h = 2(v − (wᵀv)w)`, `∂d/∂t = −∂d/∂h`, `∂d/∂d_r = 2v`,
     /// `∂d/∂w = −2[(vᵀw)·u + (wᵀu)·v]`.
+    ///
+    /// All temporaries come from the scratch arena; the gradients are
+    /// finished while the parameter rows are only borrowed immutably, so no
+    /// row needs to be copied out first.
     fn apply(&mut self, triple: Triple, scale: f32, lr: f32) {
-        let v = self.residual(triple.head, triple.rel, triple.tail);
-        let w = self.normals.row(triple.rel.index()).to_vec();
-        let hv = self.entities.row(triple.head.index()).to_vec();
-        let tv = self.entities.row(triple.tail.index()).to_vec();
-        let wv = vector::dot(&w, &v);
-        let u: Vec<f32> = hv.iter().zip(tv.iter()).map(|(a, b)| a - b).collect();
-        let wu = vector::dot(&w, &u);
-
-        let grad_h: Vec<f32> = (0..v.len()).map(|i| 2.0 * (v[i] - wv * w[i])).collect();
-        let grad_dr: Vec<f32> = v.iter().map(|x| 2.0 * x).collect();
-        let grad_w: Vec<f32> = (0..v.len()).map(|i| -2.0 * (wv * u[i] + wu * v[i])).collect();
+        let d = self.entities.dim();
+        let mut v = self.scratch.take(d);
+        let mut u = self.scratch.take(d);
+        let mut grad_h = self.scratch.take(d);
+        let mut grad_dr = self.scratch.take(d);
+        let mut grad_w = self.scratch.take(d);
+        self.residual_into(triple.head, triple.rel, triple.tail, &mut v);
+        {
+            let w = self.normals.row(triple.rel.index());
+            let hv = self.entities.row(triple.head.index());
+            let tv = self.entities.row(triple.tail.index());
+            let wv = vector::dot(w, &v);
+            vector::sub_into(hv, tv, &mut u);
+            let wu = vector::dot(w, &u);
+            for i in 0..d {
+                grad_h[i] = 2.0 * (v[i] - wv * w[i]);
+                grad_w[i] = -2.0 * (wv * u[i] + wu * v[i]);
+            }
+            vector::scale_assign(2.0, &v, &mut grad_dr);
+        }
 
         self.entities.add_to_row(triple.head.index(), -lr * scale, &grad_h);
         self.entities.add_to_row(triple.tail.index(), lr * scale, &grad_h);
@@ -91,6 +134,11 @@ impl TransH {
         vector::project_to_ball(self.entities.row_mut(triple.head.index()), 1.0);
         vector::project_to_ball(self.entities.row_mut(triple.tail.index()), 1.0);
         vector::normalize(self.normals.row_mut(triple.rel.index()));
+        self.scratch.put(v);
+        self.scratch.put(u);
+        self.scratch.put(grad_h);
+        self.scratch.put(grad_dr);
+        self.scratch.put(grad_w);
     }
 
     /// Read access to the entity table.

@@ -7,17 +7,39 @@
 
 use crate::model::KgeModel;
 use kgrec_graph::{EntityId, RelationId, Triple};
-use kgrec_linalg::{vector, EmbeddingTable, Matrix};
+use kgrec_linalg::{vector, EmbeddingTable, Matrix, Scratch};
 use rand::Rng;
 
 /// The TransR model. Entity dim and relation dim may differ.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct TransR {
     entities: EmbeddingTable,
     relations: EmbeddingTable,
     projections: Vec<Matrix>,
+    scratch: Scratch,
     /// Ranking margin `γ`.
     pub margin: f32,
+}
+
+impl Clone for TransR {
+    fn clone(&self) -> Self {
+        Self {
+            entities: self.entities.clone(),
+            relations: self.relations.clone(),
+            projections: self.projections.clone(),
+            scratch: Scratch::new(),
+            margin: self.margin,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.entities.clone_from(&source.entities);
+        self.relations.clone_from(&source.relations);
+        // Vec::clone_from reuses both the outer vector and, through
+        // Matrix::clone_from, each projection's data allocation.
+        self.projections.clone_from(&source.projections);
+        self.margin = source.margin;
+    }
 }
 
 impl TransR {
@@ -46,24 +68,30 @@ impl TransR {
             }
             projections.push(m);
         }
-        Self { entities, relations, projections, margin }
+        Self { entities, relations, projections, scratch: Scratch::new(), margin }
     }
 
     /// Projected translation distance; see module docs.
+    ///
+    /// Fused: each relation-space component is produced as two row dot
+    /// products and squared immediately — same values and accumulation
+    /// order as materialising `M_r·h` and `M_r·t` first, with no
+    /// temporaries.
     pub fn distance(&self, h: EntityId, r: RelationId, t: EntityId) -> f32 {
         let m = &self.projections[r.index()];
-        let hr = m.matvec(self.entities.row(h.index()));
-        let tr = m.matvec(self.entities.row(t.index()));
+        let hv = self.entities.row(h.index());
+        let tv = self.entities.row(t.index());
         let rv = self.relations.row(r.index());
         let mut acc = 0.0f32;
         for i in 0..rv.len() {
-            let v = hr[i] + rv[i] - tr[i];
+            let v = vector::dot(m.row(i), hv) + rv[i] - vector::dot(m.row(i), tv);
             acc += v * v;
         }
         acc
     }
 
     /// Residual `v = M_r(h − t) + r` in relation space.
+    #[cfg(test)]
     fn residual(&self, h: EntityId, r: RelationId, t: EntityId) -> Vec<f32> {
         let m = &self.projections[r.index()];
         let hv = self.entities.row(h.index());
@@ -77,13 +105,22 @@ impl TransR {
     /// Gradients: `∂d/∂r = 2v`, `∂d/∂h = 2Mᵀv`, `∂d/∂t = −2Mᵀv`,
     /// `∂d/∂M = 2·v·(h−t)ᵀ`.
     fn apply(&mut self, triple: Triple, scale: f32, lr: f32) {
-        let v = self.residual(triple.head, triple.rel, triple.tail);
-        let two_v: Vec<f32> = v.iter().map(|x| 2.0 * x).collect();
-        let m = &self.projections[triple.rel.index()];
-        let grad_h = m.matvec_t(&two_v);
-        let hv = self.entities.row(triple.head.index()).to_vec();
-        let tv = self.entities.row(triple.tail.index()).to_vec();
-        let u: Vec<f32> = hv.iter().zip(tv.iter()).map(|(a, b)| a - b).collect();
+        let d_e = self.entities.dim();
+        let d_r = self.relations.dim();
+        let mut u = self.scratch.take(d_e);
+        let mut v = self.scratch.take(d_r);
+        let mut two_v = self.scratch.take(d_r);
+        let mut grad_h = self.scratch.take(d_e);
+        {
+            let hv = self.entities.row(triple.head.index());
+            let tv = self.entities.row(triple.tail.index());
+            vector::sub_into(hv, tv, &mut u);
+            let m = &self.projections[triple.rel.index()];
+            m.matvec_into(&u, &mut v);
+            vector::axpy(1.0, self.relations.row(triple.rel.index()), &mut v);
+            vector::scale_assign(2.0, &v, &mut two_v);
+            m.matvec_t_into(&two_v, &mut grad_h);
+        }
 
         self.relations.add_to_row(triple.rel.index(), -lr * scale, &two_v);
         self.entities.add_to_row(triple.head.index(), -lr * scale, &grad_h);
@@ -104,6 +141,10 @@ impl TransR {
                 *x *= ratio;
             }
         }
+        self.scratch.put(u);
+        self.scratch.put(v);
+        self.scratch.put(two_v);
+        self.scratch.put(grad_h);
     }
 
     /// Read access to the entity table.

@@ -10,10 +10,23 @@ use crate::vector;
 use rand::Rng;
 
 /// A dense `n × d` table of latent vectors.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct EmbeddingTable {
     dim: usize,
     data: Vec<f32>,
+}
+
+impl Clone for EmbeddingTable {
+    fn clone(&self) -> Self {
+        Self { dim: self.dim, data: self.data.clone() }
+    }
+
+    /// Reuses the existing allocation when capacities allow, so repeated
+    /// snapshots of a model (`train_guarded`) stop hitting the allocator.
+    fn clone_from(&mut self, source: &Self) {
+        self.dim = source.dim;
+        self.data.clone_from(&source.data);
+    }
 }
 
 impl EmbeddingTable {

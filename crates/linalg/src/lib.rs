@@ -21,6 +21,8 @@
 //! * [`par`] — the deterministic worker pool ([`par::par_map`]):
 //!   index-addressed sharding with fixed-order reduction, so parallel
 //!   evaluation is bit-identical to serial at any thread count;
+//! * [`scratch`] — [`scratch::Scratch`], a buffer arena that keeps the
+//!   allocator off the per-triple training hot path;
 //! * [`gradcheck`] — finite-difference gradient checking used throughout the
 //!   test suites to validate every hand-derived gradient.
 //!
@@ -41,6 +43,7 @@ pub mod nn;
 pub mod optim;
 pub mod par;
 pub mod rnn;
+pub mod scratch;
 pub mod stability;
 pub mod vector;
 
@@ -48,4 +51,5 @@ pub use embedding::EmbeddingTable;
 pub use matrix::Matrix;
 pub use nn::{Activation, Dense, Mlp};
 pub use optim::{Adagrad, Adam, Optimizer, Sgd};
+pub use scratch::Scratch;
 pub use stability::{DivergencePolicy, LossMonitor, LossVerdict};

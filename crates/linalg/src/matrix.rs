@@ -7,12 +7,35 @@
 
 use crate::vector;
 
+/// Cache-block edge for the `matmul` k-dimension: one block of B rows
+/// (64 × cols floats) stays resident while a stripe of C is updated.
+const K_BLOCK: usize = 64;
+
+/// Tile edge for the blocked `transpose`: a 32 × 32 f32 tile is 4 KiB,
+/// small enough that both the read and write tiles fit in L1.
+const T_BLOCK: usize = 32;
+
 /// A dense row-major `rows × cols` matrix of `f32`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        Self { rows: self.rows, cols: self.cols, data: self.data.clone() }
+    }
+
+    /// Reuses the existing allocation when shapes allow — this is what
+    /// makes snapshot-on-improvement in `kgrec_kge` allocation-free after
+    /// the first epoch.
+    fn clone_from(&mut self, source: &Self) {
+        self.rows = source.rows;
+        self.cols = source.cols;
+        self.data.clone_from(&source.data);
+    }
 }
 
 impl Matrix {
@@ -89,22 +112,37 @@ impl Matrix {
 
     /// Matrix–vector product `y = A·x` (`x.len() == cols`).
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
         let mut y = vec![0.0f32; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// `y = A·x` written into a caller-owned buffer (`y.len() == rows`).
+    pub fn matvec_into(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec: output dimension mismatch");
         for r in 0..self.rows {
             y[r] = vector::dot(self.row(r), x);
         }
-        y
     }
 
     /// Transposed matrix–vector product `y = Aᵀ·x` (`x.len() == rows`).
     pub fn matvec_t(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.rows, "matvec_t: dimension mismatch");
         let mut y = vec![0.0f32; self.cols];
-        for r in 0..self.rows {
-            vector::axpy(x[r], self.row(r), &mut y);
-        }
+        self.matvec_t_into(x, &mut y);
         y
+    }
+
+    /// `y = Aᵀ·x` written into a caller-owned buffer (`y.len() == cols`).
+    ///
+    /// The buffer is overwritten (zeroed first), not accumulated into.
+    pub fn matvec_t_into(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.rows, "matvec_t: dimension mismatch");
+        assert_eq!(y.len(), self.cols, "matvec_t: output dimension mismatch");
+        y.fill(0.0);
+        for r in 0..self.rows {
+            vector::axpy(x[r], self.row(r), y);
+        }
     }
 
     /// Rank-1 update `A += α · x · yᵀ` (`x.len() == rows`, `y.len() == cols`).
@@ -121,28 +159,48 @@ impl Matrix {
     }
 
     /// Dense matrix product `A·B`.
+    ///
+    /// Cache-blocked over the inner dimension: a `K_BLOCK`-row stripe of B
+    /// stays hot while every row of C it contributes to is updated. Each
+    /// output element still accumulates its `k` terms in ascending order
+    /// (blocks ascend, `k` ascends within a block), so the result is
+    /// bit-identical to the naive triple loop. The inner loop is
+    /// branch-free: real embeddings are almost never exactly zero, so a
+    /// sparsity test costs a misprediction per element and saves nothing.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul: inner dimension mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(r, k);
-                if a == 0.0 {
-                    continue;
+        let mut kb = 0;
+        while kb < self.cols {
+            let kend = (kb + K_BLOCK).min(self.cols);
+            for r in 0..self.rows {
+                let arow = self.row(r);
+                let orow = &mut out.data[r * other.cols..(r + 1) * other.cols];
+                for k in kb..kend {
+                    vector::axpy(arow[k], other.row(k), orow);
                 }
-                let brow = other.row(k);
-                vector::axpy(a, brow, out.row_mut(r));
             }
+            kb = kend;
         }
         out
     }
 
     /// Returns the transpose `Aᵀ`.
+    ///
+    /// Walks the source in `T_BLOCK × T_BLOCK` tiles so writes to the
+    /// column-major destination stay within an L1-resident tile instead of
+    /// striding the whole output every element.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.set(c, r, self.get(r, c));
+        for rb in (0..self.rows).step_by(T_BLOCK) {
+            let rend = (rb + T_BLOCK).min(self.rows);
+            for cb in (0..self.cols).step_by(T_BLOCK) {
+                let cend = (cb + T_BLOCK).min(self.cols);
+                for r in rb..rend {
+                    for c in cb..cend {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
             }
         }
         out
@@ -232,5 +290,69 @@ mod tests {
     #[should_panic(expected = "size mismatch")]
     fn from_vec_size_checked() {
         Matrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    /// Deterministic non-round filler so blocked kernels cross tile edges.
+    fn filled(rows: usize, cols: usize, salt: f32) -> Matrix {
+        let data = (0..rows * cols).map(|i| (i as f32).mul_add(0.17, salt) % 3.1 - 1.4).collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_including_zeros() {
+        // Sizes straddle K_BLOCK; planted zeros exercise the removed branch.
+        let mut a = filled(7, 70, 0.3);
+        a.set(0, 0, 0.0);
+        a.set(3, 65, 0.0);
+        let b = filled(70, 5, -0.9);
+        let got = a.matmul(&b);
+        let mut naive = Matrix::zeros(a.rows(), b.cols());
+        for r in 0..a.rows() {
+            for k in 0..a.cols() {
+                for c in 0..b.cols() {
+                    let cell = naive.get(r, c) + a.get(r, k) * b.get(k, c);
+                    naive.set(r, c, cell);
+                }
+            }
+        }
+        for (g, n) in got.data().iter().zip(naive.data().iter()) {
+            assert_eq!(g.to_bits(), n.to_bits());
+        }
+    }
+
+    #[test]
+    fn blocked_transpose_matches_elementwise() {
+        let a = filled(37, 41, 1.1);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 41);
+        assert_eq!(t.cols(), 37);
+        for r in 0..a.rows() {
+            for c in 0..a.cols() {
+                assert_eq!(t.get(c, r).to_bits(), a.get(r, c).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating() {
+        let a = filled(6, 9, 0.5);
+        let x: Vec<f32> = (0..9).map(|i| i as f32 * 0.3 - 1.0).collect();
+        let xr: Vec<f32> = (0..6).map(|i| 0.7 - i as f32 * 0.2).collect();
+        let mut y = vec![7.0f32; 6];
+        a.matvec_into(&x, &mut y);
+        assert_eq!(y, a.matvec(&x));
+        let mut yt = vec![7.0f32; 9];
+        a.matvec_t_into(&xr, &mut yt);
+        assert_eq!(yt, a.matvec_t(&xr));
+    }
+
+    #[test]
+    fn clone_from_reuses_and_matches() {
+        let a = filled(4, 5, 0.2);
+        let mut b = Matrix::zeros(4, 5);
+        let ptr_before = b.data().as_ptr();
+        b.clone_from(&a);
+        assert_eq!(a, b);
+        assert_eq!(ptr_before, b.data().as_ptr(), "same-size clone_from must not reallocate");
     }
 }

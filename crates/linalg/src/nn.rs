@@ -84,8 +84,11 @@ pub struct Dense {
     gw: Matrix,
     gb: Vec<f32>,
     act: Activation,
-    // Cached forward state (input, pre-activation, output).
+    // Cached forward state (input, pre-activation, output). Exactly one of
+    // `last_x` / `last_active` is non-empty after a forward pass; the other
+    // is cleared so a dense backward cannot consume a sparse cache.
     last_x: Vec<f32>,
+    last_active: Vec<usize>,
     last_pre: Vec<f32>,
     last_y: Vec<f32>,
 }
@@ -102,6 +105,7 @@ impl Dense {
             w,
             act,
             last_x: Vec::new(),
+            last_active: Vec::new(),
             last_pre: Vec::new(),
             last_y: Vec::new(),
         }
@@ -139,10 +143,52 @@ impl Dense {
         vector::axpy(1.0, &self.b, &mut pre);
         let mut y = pre.clone();
         self.act.apply_slice(&mut y);
-        self.last_x = x.to_vec();
+        self.last_x.clear();
+        self.last_x.extend_from_slice(x);
+        self.last_active.clear();
         self.last_pre = pre;
         self.last_y = y.clone();
         y
+    }
+
+    /// Forward pass for a *binary* input vector given as the ascending list
+    /// of its non-zero (`= 1.0`) coordinates. Skipped terms are exact
+    /// multiplications by `0.0`, so the result matches `forward` on the
+    /// equivalent dense 0/1 vector. Caches state for [`Self::backward_sparse`].
+    pub fn forward_sparse(&mut self, active: &[usize]) -> Vec<f32> {
+        let mut pre = vec![0.0f32; self.w.rows()];
+        for (k, p) in pre.iter_mut().enumerate() {
+            let row = self.w.row(k);
+            let mut acc = 0.0f32;
+            for &j in active {
+                acc += row[j];
+            }
+            *p = acc + self.b[k];
+        }
+        let mut y = pre.clone();
+        self.act.apply_slice(&mut y);
+        self.last_x.clear();
+        self.last_active.clear();
+        self.last_active.extend_from_slice(active);
+        self.last_pre = pre;
+        self.last_y = y.clone();
+        y
+    }
+
+    /// Pure sparse inference: `infer` on a binary vector with the given
+    /// non-zero coordinates, without touching the cache.
+    pub fn infer_sparse(&self, active: &[usize]) -> Vec<f32> {
+        let mut pre = vec![0.0f32; self.w.rows()];
+        for (k, p) in pre.iter_mut().enumerate() {
+            let row = self.w.row(k);
+            let mut acc = 0.0f32;
+            for &j in active {
+                acc += row[j];
+            }
+            *p = acc + self.b[k];
+        }
+        self.act.apply_slice(&mut pre);
+        pre
     }
 
     /// Pure inference forward pass: no caching, usable through `&self`.
@@ -173,6 +219,101 @@ impl Dense {
         self.w.matvec_t(&dpre)
     }
 
+    /// Fused [`Self::backward`] + [`Self::step_sgd`]: back-propagates
+    /// `dl_dy` through the cached dense forward pass and applies the SGD
+    /// step in one sweep of the weights, never materialising the gradient
+    /// matrix. Returns `dl_dx`, computed against the pre-step weights
+    /// exactly as the unfused pair does.
+    ///
+    /// Bit-identical to `backward` followed by `step_sgd` *only* from the
+    /// cleared-gradient state every `step_sgd`/`zero_grad` leaves behind:
+    /// the per-weight update replays the accumulate-then-step arithmetic
+    /// (`g = 0.0 + dpre·x`, then `w -= lr·(g + l2·w)`) term for term —
+    /// the leading `0.0 +` keeps the `-0.0` gradients the accumulator
+    /// would have canonicalised.
+    ///
+    /// # Panics
+    /// Panics if `forward` has not been called or dimensions disagree.
+    pub fn backward_step_sgd(&mut self, dl_dy: &[f32], lr: f32, l2: f32) -> Vec<f32> {
+        assert_eq!(dl_dy.len(), self.w.rows(), "Dense::backward: output dim mismatch");
+        assert_eq!(self.last_x.len(), self.w.cols(), "Dense::backward: forward not cached");
+        debug_assert!(
+            self.gw.data().iter().chain(self.gb.iter()).all(|&g| g == 0.0 && g.is_sign_positive()),
+            "Dense::backward_step_sgd: accumulated gradients must be clear"
+        );
+        let mut dpre = vec![0.0f32; dl_dy.len()];
+        for i in 0..dl_dy.len() {
+            dpre[i] = dl_dy[i] * self.act.derivative(self.last_pre[i], self.last_y[i]);
+        }
+        let dl_dx = self.w.matvec_t(&dpre);
+        let cols = self.w.cols();
+        for (r, &d) in dpre.iter().enumerate() {
+            let wrow = &mut self.w.data_mut()[r * cols..(r + 1) * cols];
+            for (wj, &xj) in wrow.iter_mut().zip(&self.last_x) {
+                let g = 0.0 + d * xj;
+                *wj -= lr * (g + l2 * *wj);
+            }
+            self.b[r] -= lr * (0.0 + d);
+        }
+        dl_dx
+    }
+
+    /// Fused [`Self::backward_sparse`] + [`Self::step_sgd`]: one sweep of
+    /// the weights applies the sparse-input gradient (active columns only)
+    /// and the dense L2 decay (every column), without touching the
+    /// gradient matrix. Bit-identical to the unfused pair from the
+    /// cleared-gradient state; the cached active list must be ascending
+    /// and duplicate-free, as [`Self::forward_sparse`] requires.
+    ///
+    /// # Panics
+    /// Panics if `forward_sparse` has not been called or dimensions disagree.
+    pub fn backward_sparse_step_sgd(&mut self, dl_dy: &[f32], lr: f32, l2: f32) {
+        assert_eq!(dl_dy.len(), self.w.rows(), "Dense::backward: output dim mismatch");
+        assert_eq!(self.last_pre.len(), self.w.rows(), "Dense::backward: forward not cached");
+        assert!(self.last_x.is_empty(), "Dense::backward_sparse: last forward pass was dense");
+        debug_assert!(
+            self.gw.data().iter().chain(self.gb.iter()).all(|&g| g == 0.0 && g.is_sign_positive()),
+            "Dense::backward_sparse_step_sgd: accumulated gradients must be clear"
+        );
+        let cols = self.w.cols();
+        for k in 0..dl_dy.len() {
+            let dpre = dl_dy[k] * self.act.derivative(self.last_pre[k], self.last_y[k]);
+            let wrow = &mut self.w.data_mut()[k * cols..(k + 1) * cols];
+            let mut cursor = 0usize;
+            for (j, wj) in wrow.iter_mut().enumerate() {
+                let g = if cursor < self.last_active.len() && self.last_active[cursor] == j {
+                    cursor += 1;
+                    0.0 + dpre
+                } else {
+                    0.0
+                };
+                *wj -= lr * (g + l2 * *wj);
+            }
+            self.b[k] -= lr * (0.0 + dpre);
+        }
+    }
+
+    /// Backward pass matching [`Self::forward_sparse`]: accumulates `dW`
+    /// only on the active columns (inactive columns would receive exact
+    /// `±0.0` contributions) and `db`, without materialising `dL/dx` —
+    /// the sparse input layer has nothing upstream to propagate into.
+    ///
+    /// # Panics
+    /// Panics if `forward_sparse` has not been called or dimensions disagree.
+    pub fn backward_sparse(&mut self, dl_dy: &[f32]) {
+        assert_eq!(dl_dy.len(), self.w.rows(), "Dense::backward: output dim mismatch");
+        assert_eq!(self.last_pre.len(), self.w.rows(), "Dense::backward: forward not cached");
+        assert!(self.last_x.is_empty(), "Dense::backward_sparse: last forward pass was dense");
+        for k in 0..dl_dy.len() {
+            let dpre = dl_dy[k] * self.act.derivative(self.last_pre[k], self.last_y[k]);
+            let grow = self.gw.row_mut(k);
+            for &j in &self.last_active {
+                grow[j] += dpre;
+            }
+            self.gb[k] += dpre;
+        }
+    }
+
     /// Zeroes the accumulated gradients.
     pub fn zero_grad(&mut self) {
         self.gw.fill_zero();
@@ -180,16 +321,39 @@ impl Dense {
     }
 
     /// Applies one SGD step with learning rate `lr` and L2 coefficient `l2`,
-    /// then clears the gradients.
+    /// then clears the gradients. Update and clear are fused into a single
+    /// pass over each parameter block.
     pub fn step_sgd(&mut self, lr: f32, l2: f32) {
-        let gw = self.gw.data();
-        for (p, g) in self.w.data_mut().iter_mut().zip(gw.iter()) {
-            *p -= lr * (g + l2 * *p);
+        for (p, g) in self.w.data_mut().iter_mut().zip(self.gw.data_mut().iter_mut()) {
+            *p -= lr * (*g + l2 * *p);
+            *g = 0.0;
         }
-        for (p, g) in self.b.iter_mut().zip(self.gb.iter()) {
-            *p -= lr * g;
+        for (p, g) in self.b.iter_mut().zip(self.gb.iter_mut()) {
+            *p -= lr * *g;
+            *g = 0.0;
         }
-        self.zero_grad();
+    }
+
+    /// SGD step touching only the active weight columns plus the bias.
+    ///
+    /// Valid only for the `l2 == 0.0` regime where inactive columns carry an
+    /// exact `+0.0` gradient and the dense update would leave them bitwise
+    /// unchanged; `active` must cover every column touched since the last
+    /// step. Gradients for the touched entries are cleared.
+    pub fn step_sgd_sparse(&mut self, lr: f32, active: &[usize]) {
+        let cols = self.w.cols();
+        for k in 0..self.w.rows() {
+            let wrow = &mut self.w.data_mut()[k * cols..(k + 1) * cols];
+            let grow = self.gw.row_mut(k);
+            for &j in active {
+                wrow[j] -= lr * grow[j];
+                grow[j] = 0.0;
+            }
+        }
+        for (p, g) in self.b.iter_mut().zip(self.gb.iter_mut()) {
+            *p -= lr * *g;
+            *g = 0.0;
+        }
     }
 }
 
@@ -382,5 +546,90 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut layer = Dense::new(&mut rng, 3, 2, Activation::Identity);
         let _ = layer.forward(&[1.0]);
+    }
+
+    #[test]
+    fn sparse_paths_bit_match_dense_on_binary_input() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut dense = Dense::new(&mut rng, 7, 3, Activation::Sigmoid);
+        let mut sparse = dense.clone();
+        let active = [1usize, 4, 6];
+        let mut x = vec![0.0f32; 7];
+        for &j in &active {
+            x[j] = 1.0;
+        }
+        let yd = dense.forward(&x);
+        let ys = sparse.forward_sparse(&active);
+        assert_eq!(yd, ys);
+        assert_eq!(sparse.infer_sparse(&active), dense.infer(&x));
+        let dl = [0.5f32, -1.0, 0.25];
+        let _ = dense.backward(&dl);
+        sparse.backward_sparse(&dl);
+        dense.step_sgd(0.1, 0.0);
+        sparse.step_sgd_sparse(0.1, &active);
+        assert_eq!(dense.weights().data(), sparse.weights().data());
+        assert_eq!(dense.bias(), sparse.bias());
+        // Second round: sparse step must have left gradients fully cleared.
+        let yd2 = dense.forward(&x);
+        let ys2 = sparse.forward_sparse(&active);
+        assert_eq!(yd2, ys2);
+    }
+
+    fn bits(xs: &[f32]) -> Vec<u32> {
+        xs.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn fused_backward_step_matches_unfused() {
+        for (seed, l2) in [(21u64, 0.0f32), (22, 1e-5), (23, 0.01)] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut unfused = Dense::new(&mut rng, 5, 3, Activation::Tanh);
+            let mut fused = unfused.clone();
+            let x = [0.6f32, -0.3, 0.0, 1.2, -0.9];
+            let y = unfused.forward(&x);
+            let _ = fused.forward(&x);
+            // A `-0.0` slot exercises the accumulator's sign canonicalisation.
+            let dl: Vec<f32> =
+                y.iter().enumerate().map(|(i, v)| if i == 0 { -0.0 } else { v - 0.5 }).collect();
+            let dx_a = unfused.backward(&dl);
+            unfused.step_sgd(0.07, l2);
+            let dx_b = fused.backward_step_sgd(&dl, 0.07, l2);
+            assert_eq!(bits(&dx_a), bits(&dx_b), "l2={l2}");
+            assert_eq!(bits(unfused.weights().data()), bits(fused.weights().data()), "l2={l2}");
+            assert_eq!(bits(unfused.bias()), bits(fused.bias()), "l2={l2}");
+            // Second round proves the fused step left no stale gradient state.
+            let y2 = unfused.forward(&x);
+            let _ = fused.forward(&x);
+            let dl2: Vec<f32> = y2.iter().map(|v| 0.25 - v).collect();
+            let _ = unfused.backward(&dl2);
+            unfused.step_sgd(0.07, l2);
+            let _ = fused.backward_step_sgd(&dl2, 0.07, l2);
+            assert_eq!(bits(unfused.weights().data()), bits(fused.weights().data()), "l2={l2}");
+        }
+    }
+
+    #[test]
+    fn fused_sparse_backward_step_matches_unfused() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut unfused = Dense::new(&mut rng, 7, 3, Activation::Tanh);
+        let mut fused = unfused.clone();
+        let active = [0usize, 2, 6];
+        let y = unfused.forward_sparse(&active);
+        let _ = fused.forward_sparse(&active);
+        let dl: Vec<f32> = y.iter().map(|v| 0.7 - v).collect();
+        unfused.backward_sparse(&dl);
+        unfused.step_sgd(0.05, 1e-5);
+        fused.backward_sparse_step_sgd(&dl, 0.05, 1e-5);
+        assert_eq!(bits(unfused.weights().data()), bits(fused.weights().data()));
+        assert_eq!(bits(unfused.bias()), bits(fused.bias()));
+    }
+
+    #[test]
+    #[should_panic(expected = "last forward pass was dense")]
+    fn backward_sparse_rejects_dense_cache() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = Dense::new(&mut rng, 2, 2, Activation::Identity);
+        let _ = layer.forward(&[1.0, 0.0]);
+        layer.backward_sparse(&[1.0, 1.0]);
     }
 }

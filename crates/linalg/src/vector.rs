@@ -9,13 +9,29 @@
 
 /// Inner product `x · y`.
 ///
+/// 4-lane unrolled with a **single** accumulator: the additions happen in
+/// exactly the sequence of the scalar loop, so the result is bit-identical
+/// to the naive version while the unroll removes per-element bounds checks
+/// and loop overhead. (Separate partial accumulators would vectorize
+/// better but change the rounding order, which the workspace's
+/// determinism contract forbids.)
+///
 /// # Panics
 /// Panics if `x.len() != y.len()`.
 #[inline]
 pub fn dot(x: &[f32], y: &[f32]) -> f32 {
     assert_eq!(x.len(), y.len(), "dot: dimension mismatch");
+    let n4 = x.len() & !3;
+    let (x4, xr) = x.split_at(n4);
+    let (y4, yr) = y.split_at(n4);
     let mut acc = 0.0f32;
-    for (a, b) in x.iter().zip(y.iter()) {
+    for (a, b) in x4.chunks_exact(4).zip(y4.chunks_exact(4)) {
+        acc += a[0] * b[0];
+        acc += a[1] * b[1];
+        acc += a[2] * b[2];
+        acc += a[3] * b[3];
+    }
+    for (a, b) in xr.iter().zip(yr.iter()) {
         acc += a * b;
     }
     acc
@@ -38,22 +54,70 @@ pub fn scale(x: &mut [f32], alpha: f32) {
     }
 }
 
+/// Element-wise sum `out = x + y` into a caller-provided buffer.
+///
+/// The allocation-free twin of [`add`]; results are bit-identical.
+pub fn add_into(x: &[f32], y: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "add_into: dimension mismatch");
+    assert_eq!(x.len(), out.len(), "add_into: output dimension mismatch");
+    for i in 0..x.len() {
+        out[i] = x[i] + y[i];
+    }
+}
+
+/// Element-wise difference `out = x - y` into a caller-provided buffer.
+///
+/// The allocation-free twin of [`sub`]; results are bit-identical.
+pub fn sub_into(x: &[f32], y: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "sub_into: dimension mismatch");
+    assert_eq!(x.len(), out.len(), "sub_into: output dimension mismatch");
+    for i in 0..x.len() {
+        out[i] = x[i] - y[i];
+    }
+}
+
+/// Element-wise (Hadamard) product `out = x ⊙ y` into a caller-provided
+/// buffer.
+///
+/// The allocation-free twin of [`hadamard`]; results are bit-identical.
+pub fn mul_into(x: &[f32], y: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "mul_into: dimension mismatch");
+    assert_eq!(x.len(), out.len(), "mul_into: output dimension mismatch");
+    for i in 0..x.len() {
+        out[i] = x[i] * y[i];
+    }
+}
+
+/// Scaled copy `out = alpha · x` into a caller-provided buffer.
+///
+/// Replaces the `x.iter().map(|v| alpha * v).collect()` pattern in
+/// gradient kernels without the per-call allocation.
+pub fn scale_assign(alpha: f32, x: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), out.len(), "scale_assign: dimension mismatch");
+    for i in 0..x.len() {
+        out[i] = alpha * x[i];
+    }
+}
+
 /// Element-wise sum `x + y` into a fresh vector.
 pub fn add(x: &[f32], y: &[f32]) -> Vec<f32> {
-    assert_eq!(x.len(), y.len(), "add: dimension mismatch");
-    x.iter().zip(y.iter()).map(|(a, b)| a + b).collect()
+    let mut out = vec![0.0f32; x.len()];
+    add_into(x, y, &mut out);
+    out
 }
 
 /// Element-wise difference `x - y` into a fresh vector.
 pub fn sub(x: &[f32], y: &[f32]) -> Vec<f32> {
-    assert_eq!(x.len(), y.len(), "sub: dimension mismatch");
-    x.iter().zip(y.iter()).map(|(a, b)| a - b).collect()
+    let mut out = vec![0.0f32; x.len()];
+    sub_into(x, y, &mut out);
+    out
 }
 
 /// Element-wise (Hadamard) product `x ⊙ y` into a fresh vector.
 pub fn hadamard(x: &[f32], y: &[f32]) -> Vec<f32> {
-    assert_eq!(x.len(), y.len(), "hadamard: dimension mismatch");
-    x.iter().zip(y.iter()).map(|(a, b)| a * b).collect()
+    let mut out = vec![0.0f32; x.len()];
+    mul_into(x, y, &mut out);
+    out
 }
 
 /// Squared Euclidean norm `‖x‖²`.
@@ -257,14 +321,28 @@ pub fn argmax(x: &[f32]) -> Option<usize> {
 
 /// Indices of the `k` largest elements, in descending order of value.
 ///
-/// `O(n log n)`; ties resolve to smaller indices first, which makes
-/// ranking-metric computations deterministic.
+/// Ties resolve to smaller indices first, which makes ranking-metric
+/// computations deterministic. For `k < n` this is `O(n + k log k)`:
+/// `select_nth_unstable_by` partitions the top `k` to the front, and only
+/// that slice is sorted. The (score desc, index asc) comparator is a
+/// strict total order over finite scores, so the selected set and its
+/// order are exactly those of a full sort. (NaN scores make the
+/// comparator lawless for the full sort too — upstream NaN probes keep
+/// them out of ranking.)
 pub fn top_k_indices(x: &[f32], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..x.len()).collect();
-    idx.sort_by(|&a, &b| {
-        x[b].partial_cmp(&x[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
-    });
-    idx.truncate(k);
+    let by_score_desc = |a: &usize, b: &usize| {
+        x[*b].partial_cmp(&x[*a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(b))
+    };
+    if k == 0 {
+        idx.clear();
+        return idx;
+    }
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k - 1, by_score_desc);
+        idx.truncate(k);
+    }
+    idx.sort_unstable_by(by_score_desc);
     idx
 }
 
@@ -424,6 +502,50 @@ mod tests {
     fn top_k_deterministic_ties() {
         let idx = top_k_indices(&[1.0, 3.0, 3.0, 2.0], 3);
         assert_eq!(idx, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn top_k_oversized_k_returns_full_order() {
+        let idx = top_k_indices(&[1.0, 3.0, 2.0], 10);
+        assert_eq!(idx, vec![1, 2, 0]);
+        assert!(top_k_indices(&[1.0, 2.0], 0).is_empty());
+        assert!(top_k_indices(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn dot_unroll_matches_scalar_reference() {
+        // Lengths straddling the 4-lane boundary, awkward magnitudes.
+        for n in 0..13usize {
+            let x: Vec<f32> = (0..n).map(|i| 0.1 + i as f32 * 0.37).collect();
+            let y: Vec<f32> = (0..n).map(|i| -1.3 + i as f32 * 0.11).collect();
+            let mut reference = 0.0f32;
+            for (a, b) in x.iter().zip(y.iter()) {
+                reference += a * b;
+            }
+            assert_eq!(dot(&x, &y).to_bits(), reference.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_versions() {
+        let x = [1.5f32, -2.0, 0.25, 7.0, -0.5];
+        let y = [0.3f32, 4.0, -1.25, 2.0, 8.0];
+        let mut out = [0.0f32; 5];
+        add_into(&x, &y, &mut out);
+        assert_eq!(out.to_vec(), add(&x, &y));
+        sub_into(&x, &y, &mut out);
+        assert_eq!(out.to_vec(), sub(&x, &y));
+        mul_into(&x, &y, &mut out);
+        assert_eq!(out.to_vec(), hadamard(&x, &y));
+        scale_assign(-2.5, &x, &mut out);
+        let expect: Vec<f32> = x.iter().map(|v| -2.5 * v).collect();
+        assert_eq!(out.to_vec(), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn add_into_mismatch_panics() {
+        add_into(&[1.0], &[1.0], &mut [0.0, 0.0]);
     }
 
     #[test]

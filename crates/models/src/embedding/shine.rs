@@ -44,17 +44,36 @@ impl Default for ShineConfig {
 }
 
 /// One autoencoder channel: encoder + tied-structure decoder.
+///
+/// Adjacency rows are binary and extremely sparse (a user touches a
+/// handful of items, not all `n`), so each row is stored as the ascending
+/// list of its non-zero coordinates and every encoder pass uses the
+/// sparse `Dense` kernels — bit-identical to the dense 0/1 passes (the
+/// skipped terms are exact multiplications by zero) at a fraction of the
+/// work.
 #[derive(Debug)]
 struct Channel {
     encoder: Dense,
     decoder: Dense,
-    /// Dense input rows, one per object.
-    inputs: Vec<Vec<f32>>,
+    /// Ascending non-zero coordinates of each binary input row.
+    inputs: Vec<Vec<usize>>,
+}
+
+/// Sorts and dedups a sparse binary row (graph neighbor lists may repeat
+/// a tail entity; the dense rows this replaces wrote `1.0` idempotently).
+fn sparse_row(mut idx: Vec<usize>) -> Vec<usize> {
+    idx.sort_unstable();
+    idx.dedup();
+    idx
 }
 
 impl Channel {
-    fn new(rng: &mut StdRng, inputs: Vec<Vec<f32>>, dim: usize) -> Self {
-        let in_dim = inputs.first().map_or(1, Vec::len).max(1);
+    /// `row_len` is the dense length of every input row (the sparse lists
+    /// only carry the non-zero coordinates).
+    fn new(rng: &mut StdRng, inputs: Vec<Vec<usize>>, row_len: usize, dim: usize) -> Self {
+        // Mirrors the dense-era sizing rule (`first row's length, min 1`)
+        // so the seeded init consumes an identical RNG stream.
+        let in_dim = if inputs.is_empty() { 1 } else { row_len.max(1) };
         Self {
             encoder: Dense::new(rng, in_dim, dim, Activation::Tanh),
             decoder: Dense::new(rng, dim, in_dim, Activation::Sigmoid),
@@ -63,34 +82,50 @@ impl Channel {
     }
 
     fn encode(&self, idx: usize) -> Vec<f32> {
-        self.encoder.infer(&self.inputs[idx])
+        self.encoder.infer_sparse(&self.inputs[idx])
     }
 
     /// Encoder forward (cached) + one reconstruction step; returns the
     /// hidden code. `recon_lr = 0` skips the decoder update.
     fn train_encode(&mut self, idx: usize, recon_lr: f32) -> Vec<f32> {
-        let h = self.encoder.forward(&self.inputs[idx]);
+        let h = self.encoder.forward_sparse(&self.inputs[idx]);
         if recon_lr > 0.0 {
-            let x = self.inputs[idx].clone();
+            let active = &self.inputs[idx];
             let xhat = self.decoder.forward(&h);
-            // Squared reconstruction error.
-            let dl: Vec<f32> = xhat.iter().zip(x.iter()).map(|(a, b)| 2.0 * (a - b)).collect();
-            let dh = self.decoder.backward(&dl);
-            self.decoder.step_sgd(recon_lr, 0.0);
-            let _ = self.encoder.backward(&dh);
-            self.encoder.step_sgd(recon_lr, 0.0);
+            // Squared reconstruction error against the binary target: a
+            // cursor over `active` substitutes the 1.0 entries without
+            // materialising the dense row.
+            let mut dl = Vec::with_capacity(xhat.len());
+            let mut cursor = 0usize;
+            for (j, &a) in xhat.iter().enumerate() {
+                let b = if cursor < active.len() && active[cursor] == j {
+                    cursor += 1;
+                    1.0f32
+                } else {
+                    0.0
+                };
+                dl.push(2.0 * (a - b));
+            }
+            // Fused backward + step: the decoder gradient matrix is never
+            // materialised (it would be cleared right back to zero).
+            let dh = self.decoder.backward_step_sgd(&dl, recon_lr, 0.0);
+            self.encoder.backward_sparse(&dh);
+            // L2-free step: inactive columns carry exact-zero gradients,
+            // so touching only the active ones is bitwise the same update.
+            self.encoder.step_sgd_sparse(recon_lr, active);
             // Re-run the forward so the caller's cache matches updated
             // weights.
-            return self.encoder.forward(&self.inputs[idx]);
+            return self.encoder.forward_sparse(&self.inputs[idx]);
         }
         h
     }
 
     /// Applies a gradient on the hidden code back through the encoder.
     fn apply_hidden_grad(&mut self, idx: usize, dh: &[f32], lr: f32) {
-        let _ = self.encoder.forward(&self.inputs[idx]);
-        let _ = self.encoder.backward(dh);
-        self.encoder.step_sgd(lr, 1e-5);
+        let _ = self.encoder.forward_sparse(&self.inputs[idx]);
+        // Weight decay touches every parameter; the fused kernel applies
+        // the sparse gradient and the dense decay in one weight sweep.
+        self.encoder.backward_sparse_step_sgd(dh, lr, 1e-5);
     }
 }
 
@@ -157,51 +192,42 @@ impl Recommender for Shine {
         let m = ctx.num_users();
         let n = ctx.num_items();
         self.num_items = n;
-        // Sentiment network rows (binary interaction vectors).
-        let user_rows: Vec<Vec<f32>> = (0..m)
+        // Sentiment network rows (binary interaction vectors, stored
+        // sparse as ascending index lists).
+        let user_rows: Vec<Vec<usize>> = (0..m)
             .map(|u| {
-                let mut row = vec![0.0f32; n];
-                for &i in ctx.train.items_of(UserId(u as u32)) {
-                    row[i.index()] = 1.0;
-                }
-                row
+                sparse_row(ctx.train.items_of(UserId(u as u32)).iter().map(|i| i.index()).collect())
             })
             .collect();
-        let item_rows: Vec<Vec<f32>> = (0..n)
+        let item_rows: Vec<Vec<usize>> = (0..n)
             .map(|i| {
-                let mut row = vec![0.0f32; m];
-                for &u in ctx.train.users_of(ItemId(i as u32)) {
-                    row[u.index()] = 1.0;
-                }
-                row
+                sparse_row(ctx.train.users_of(ItemId(i as u32)).iter().map(|u| u.index()).collect())
             })
             .collect();
         // Social network rows (optional).
         let social_rows = ctx.dataset.social_links.as_ref().map(|links| {
-            let mut rows = vec![vec![0.0f32; m]; m];
+            let mut rows = vec![Vec::new(); m];
             for &(a, b) in links {
-                rows[a.index()][b.index()] = 1.0;
-                rows[b.index()][a.index()] = 1.0;
+                rows[a.index()].push(b.index());
+                rows[b.index()].push(a.index());
             }
-            rows
+            rows.into_iter().map(sparse_row).collect::<Vec<_>>()
         });
         // Profile network rows: one-hot over attribute entities.
         let graph = &ctx.dataset.graph;
         let attr_count = graph.num_entities();
-        let profile_rows: Vec<Vec<f32>> = (0..n)
+        let profile_rows: Vec<Vec<usize>> = (0..n)
             .map(|i| {
-                let mut row = vec![0.0f32; attr_count];
-                for (_, t) in graph.neighbors(ctx.dataset.item_entities[i]) {
-                    row[t.index()] = 1.0;
-                }
-                row
+                sparse_row(
+                    graph.neighbors(ctx.dataset.item_entities[i]).map(|(_, t)| t.index()).collect(),
+                )
             })
             .collect();
         let dim = self.config.dim;
-        self.sentiment_user = Some(Channel::new(&mut rng, user_rows, dim));
-        self.sentiment_item = Some(Channel::new(&mut rng, item_rows, dim));
-        self.social = social_rows.map(|rows| Channel::new(&mut rng, rows, dim));
-        self.profile = Some(Channel::new(&mut rng, profile_rows, dim));
+        self.sentiment_user = Some(Channel::new(&mut rng, user_rows, n, dim));
+        self.sentiment_item = Some(Channel::new(&mut rng, item_rows, m, dim));
+        self.social = social_rows.map(|rows| Channel::new(&mut rng, rows, m, dim));
+        self.profile = Some(Channel::new(&mut rng, profile_rows, attr_count, dim));
 
         let lr = self.config.learning_rate;
         let recon_lr = lr * self.config.recon_weight;

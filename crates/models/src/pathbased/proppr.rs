@@ -74,10 +74,26 @@ impl ProPpr {
     }
 
     /// Personalized PageRank mass over all entities from one user.
+    ///
+    /// The softplus rule weights and each entity's total out-weight are
+    /// invariant across the power iterations, so both are materialised
+    /// once up front: softplus runs per *relation* instead of per edge
+    /// per iteration. The per-edge update keeps the original expression
+    /// shape (`((1−ρ)·m · w_r) / total`, division last), so every mass
+    /// value is bit-identical to the unhoisted loop.
     fn ppr(&self, uig: &UserItemGraph, user: UserId) -> Vec<f32> {
         let g = &uig.graph;
         let n = g.num_entities();
         let src = uig.user_entities[user.index()].index();
+        let w: Vec<f32> = (0..self.rule_params.len()).map(|r| self.rule_weight(r)).collect();
+        let totals: Vec<f32> = (0..n)
+            .map(|e| {
+                g.edge_slice(kgrec_graph::EntityId(e as u32))
+                    .iter()
+                    .map(|&(r, _)| w[r.index()])
+                    .sum()
+            })
+            .collect();
         let mut mass = vec![0.0f32; n];
         mass[src] = 1.0;
         let restart = self.config.restart;
@@ -96,13 +112,14 @@ impl ProPpr {
                     next[src] += (1.0 - restart) * m;
                     continue;
                 }
-                let total: f32 = edges.iter().map(|&(r, _)| self.rule_weight(r.index())).sum();
+                let total = totals[e];
                 if total <= 0.0 {
                     next[src] += (1.0 - restart) * m;
                     continue;
                 }
+                let s = (1.0 - restart) * m;
                 for &(r, t) in edges {
-                    next[t.index()] += (1.0 - restart) * m * self.rule_weight(r.index()) / total;
+                    next[t.index()] += s * w[r.index()] / total;
                 }
             }
             std::mem::swap(&mut mass, &mut next);

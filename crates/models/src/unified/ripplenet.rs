@@ -107,6 +107,7 @@ impl RippleNet {
         let mut queries = Vec::with_capacity(self.config.hops);
         let mut responses = Vec::with_capacity(self.config.hops);
         let mut q = v.clone();
+        let mut rh = vec![0.0f32; d];
         for k in 0..self.config.hops {
             let hop = sets.hop(k);
             queries.push(q.clone());
@@ -116,14 +117,12 @@ impl RippleNet {
                 q = vec![0.0; d];
                 continue;
             }
-            let mut scores: Vec<f32> = hop
-                .iter()
-                .map(|t| {
-                    let rh =
-                        self.relations[t.rel.index()].matvec(self.entities.row(t.head.index()));
-                    vector::dot(&q, &rh)
-                })
-                .collect();
+            let mut scores: Vec<f32> = Vec::with_capacity(hop.len());
+            for t in hop {
+                self.relations[t.rel.index()]
+                    .matvec_into(self.entities.row(t.head.index()), &mut rh);
+                scores.push(vector::dot(&q, &rh));
+            }
             vector::softmax_in_place(&mut scores);
             let mut o = vec![0.0f32; d];
             for (p, t) in scores.iter().zip(hop.iter()) {
@@ -150,7 +149,12 @@ impl RippleNet {
         let l2 = self.config.l2;
         let item_ent = self.alignment[item.index()];
         let v = self.entities.row(item_ent.index()).to_vec();
-        let sets = self.ripples[user.index()].clone();
+        // Borrowing the ripple sets in place is fine: the loop below only
+        // mutates the disjoint `entities`/`relations` fields.
+        let sets = &self.ripples[user.index()];
+        let mut rh = vec![0.0f32; d];
+        let mut dh = vec![0.0f32; d];
+        let mut scaled = vec![0.0f32; d];
 
         // dL/dv direct term (z = uᵀv).
         let mut dv: Vec<f32> = fwd.user_vec.iter().map(|u| dz * u).collect();
@@ -163,28 +167,36 @@ impl RippleNet {
             if hop.is_empty() {
                 continue;
             }
-            let dout = do_k[k].clone();
+            // `do_k[k]` is never read again (hops run in reverse), so the
+            // gradient vector can be moved out instead of cloned.
+            let dout = std::mem::take(&mut do_k[k]);
             let p = &fwd.probs[k];
             let q = &fwd.queries[k];
             // dL/dp_i = dout · t_i ; accumulate dL/dt_i = p_i · dout.
             let mut dl_dp = Vec::with_capacity(hop.len());
             for (i, t) in hop.iter().enumerate() {
                 dl_dp.push(vector::dot(&dout, self.entities.row(t.tail.index())));
-                let scaled: Vec<f32> = dout.iter().map(|x| p[i] * x).collect();
+                vector::scale_assign(p[i], &dout, &mut scaled);
                 self.entities.add_to_row(t.tail.index(), -lr, &scaled);
             }
             let ds = vector::softmax_backward(p, &dl_dp);
             let mut dq = vec![0.0f32; d];
             for (i, t) in hop.iter().enumerate() {
                 let rel = &self.relations[t.rel.index()];
-                let h = self.entities.row(t.head.index()).to_vec();
-                let rh = rel.matvec(&h);
+                rel.matvec_into(self.entities.row(t.head.index()), &mut rh);
                 // s_i = qᵀ R h: ∂/∂q = R h; ∂/∂h = Rᵀ q; ∂/∂R = q hᵀ.
                 vector::axpy(ds[i], &rh, &mut dq);
-                let dh = rel.matvec_t(q);
-                let scaled: Vec<f32> = dh.iter().map(|x| ds[i] * x).collect();
+                rel.matvec_t_into(q, &mut dh);
+                vector::scale_assign(ds[i], &dh, &mut scaled);
+                // The rank-1 update reads the head row before its own SGD
+                // update lands either way, so running it first avoids
+                // materialising a copy of `h`.
+                self.relations[t.rel.index()].rank1_update(
+                    -lr * ds[i],
+                    q,
+                    self.entities.row(t.head.index()),
+                );
                 self.entities.add_to_row(t.head.index(), -lr, &scaled);
-                self.relations[t.rel.index()].rank1_update(-lr * ds[i], q, &h);
             }
             if k > 0 {
                 // q^k = o^{k-1}.

@@ -16,6 +16,9 @@ cargo test --workspace -q
 echo "== kglint --strict (all synthetic scenarios)"
 cargo run --release -p kgrec-check --bin kglint -- --strict
 
+echo "== kglint --src (MD006: no allocating vector ops in epoch loops)"
+cargo run --release -p kgrec-check --bin kglint -- --src --strict
+
 echo "== eval_suite fault drill (graceful degradation smoke)"
 cargo run --release -p kgrec-bench --bin eval_suite -- --quick --inject-fault \
   | tail -n 3
@@ -31,5 +34,11 @@ echo "   identical at 1 and 4 threads"
 echo "== benchmark baseline (BENCH_eval.json)"
 ./target/release/eval_suite --quick --bench --threads 4 > /dev/null
 test -s BENCH_eval.json || { echo "FAIL: BENCH_eval.json missing"; exit 1; }
+
+echo "== kernel microbenchmarks (BENCH_kernels.json)"
+# No pipe into `head` here: closing the reader early would SIGPIPE the
+# printing binary and fail the gate under `pipefail`.
+cargo run --release -p kgrec-bench --bin kernel_bench -- --quick > /dev/null
+test -s BENCH_kernels.json || { echo "FAIL: BENCH_kernels.json missing"; exit 1; }
 
 echo "OK: all checks passed"
