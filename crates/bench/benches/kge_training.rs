@@ -10,7 +10,7 @@ use rand::SeedableRng;
 fn bench_kge(c: &mut Criterion) {
     let synth = generate(&ScenarioConfig::tiny(), 3);
     let graph = synth.dataset.graph;
-    let cfg = TrainConfig { epochs: 1, learning_rate: 0.05, seed: 4 };
+    let cfg = TrainConfig { epochs: 1, learning_rate: 0.05, seed: 4, threads: None };
     let n = graph.num_entities();
     let r = graph.num_relations();
     let dim = 16;

@@ -57,6 +57,12 @@ pub struct BenchReport {
     /// Evaluation rows (ranked users + scored CTR pairs) per wall-clock
     /// second of the measured run.
     pub rows_per_sec: f64,
+    /// Summed training wall-clock across every (model × scenario) cell.
+    pub fit_secs_total: f64,
+    /// Training rows (epochs × interactions, summed over cells) per
+    /// second of summed training wall-clock — the fit-path throughput
+    /// the SIMD/parallel-training work targets.
+    pub fit_rows_per_sec: f64,
     /// Number of scenarios covered.
     pub scenarios: usize,
     /// Per-(model × scenario) entries.
@@ -78,11 +84,17 @@ impl BenchReport {
         let rows: usize =
             entries.iter().map(|e| e.timings.users_ranked + e.timings.pairs_scored).sum();
         let rows_per_sec = if wall_secs > 0.0 { rows as f64 / wall_secs } else { 0.0 };
+        let fit_secs_total: f64 = entries.iter().map(|e| e.timings.fit_secs).sum();
+        let fit_rows: usize = entries.iter().map(|e| e.timings.fit_rows).sum();
+        let fit_rows_per_sec =
+            if fit_secs_total > 0.0 { fit_rows as f64 / fit_secs_total } else { 0.0 };
         Self {
             threads,
             wall_secs,
             serial_wall_secs: None,
             rows_per_sec,
+            fit_secs_total,
+            fit_rows_per_sec,
             scenarios: runs.len(),
             entries,
         }
@@ -116,6 +128,8 @@ impl BenchReport {
             None => s.push_str("  \"speedup_vs_serial\": null,\n"),
         }
         s.push_str(&format!("  \"rows_per_sec\": {},\n", json_f64(self.rows_per_sec)));
+        s.push_str(&format!("  \"fit_secs_total\": {},\n", json_f64(self.fit_secs_total)));
+        s.push_str(&format!("  \"fit_rows_per_sec\": {},\n", json_f64(self.fit_rows_per_sec)));
         s.push_str(&format!("  \"scenarios\": {},\n", self.scenarios));
         s.push_str("  \"models\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
@@ -123,7 +137,9 @@ impl BenchReport {
             s.push_str(&format!(
                 "    {{\"model\": {}, \"scenario\": {}, \"outcome\": {}, \
                  \"fit_secs\": {}, \"score_secs\": {}, \"rank_secs\": {}, \
-                 \"pairs_scored\": {}, \"users_ranked\": {}}}{}\n",
+                 \"pairs_scored\": {}, \"users_ranked\": {}, \
+                 \"fit_rows\": {}, \"fit_epochs\": {}, \
+                 \"fit_rows_per_sec\": {}, \"epochs_per_sec\": {}}}{}\n",
                 json_str(&e.model),
                 json_str(&e.scenario),
                 json_str(&e.outcome),
@@ -132,6 +148,10 @@ impl BenchReport {
                 json_f64(t.rank_secs),
                 t.pairs_scored,
                 t.users_ranked,
+                t.fit_rows,
+                t.fit_epochs,
+                json_f64(t.fit_rows_per_sec()),
+                json_f64(t.epochs_per_sec()),
                 if i + 1 < self.entries.len() { "," } else { "" }
             ));
         }
@@ -199,6 +219,8 @@ mod tests {
                 rank_secs: 0.005,
                 pairs_scored: pairs,
                 users_ranked: users,
+                fit_rows: 300,
+                fit_epochs: 30,
             },
         }
     }
@@ -214,6 +236,20 @@ mod tests {
         assert_eq!(report.scenarios, 2);
         assert_eq!(report.rows_per_sec, f64::from(30 + 100 + 30 + 100 + 10 + 40) / 2.0);
         assert_eq!(report.speedup(), Some(3.0));
+        // 3 cells × 300 fit rows over 3 × 0.01s of training wall-clock.
+        assert!((report.fit_secs_total - 0.03).abs() < 1e-12);
+        assert!((report.fit_rows_per_sec - 900.0 / 0.03).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_throughput_appears_in_model_rows() {
+        let runs = vec![("tiny".to_owned(), vec![fake_report("A", 5, 10)])];
+        let json = BenchReport::new(&runs, 1, 1.0).to_json();
+        // 300 rows / 30 epochs over 0.01s of fit.
+        assert!(json.contains("\"fit_rows\": 300"), "{json}");
+        assert!(json.contains("\"fit_epochs\": 30"), "{json}");
+        assert!(json.contains("\"fit_rows_per_sec\": 30000.000000"), "{json}");
+        assert!(json.contains("\"epochs_per_sec\": 3000.000000"), "{json}");
     }
 
     #[test]

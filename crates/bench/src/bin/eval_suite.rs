@@ -62,6 +62,13 @@ struct SuiteConfig {
 /// One pass over every scenario; returns per-scenario reports and the
 /// wall-clock the whole pass took.
 fn run_suite(cfg: &SuiteConfig) -> (Vec<(String, Vec<ModelReport>)>, f64) {
+    // Model fits discover their worker count through `KGREC_THREADS`
+    // (`par::resolve_threads(None)`), not through a plumbed argument —
+    // pin it to this pass's count so `--threads 1` (and the `--bench`
+    // serial comparison pass) really serializes the fit path too. Safe:
+    // the pool's scoped workers are joined before this call, so no other
+    // thread is reading the environment.
+    std::env::set_var(par::THREADS_ENV, cfg.threads.to_string());
     let supervisor = SupervisorConfig::default();
     let started = Instant::now();
     let mut runs: Vec<(String, Vec<ModelReport>)> = Vec::new();

@@ -95,6 +95,79 @@ impl KernelReport {
         let mut f = std::fs::File::create(path)?;
         f.write_all(self.to_json().as_bytes())
     }
+
+    /// Compares this (fresh) report against a committed baseline and
+    /// returns every kernel that regressed past the gate: fresh ns/op
+    /// above `baseline × max_ratio + slack_ns`. The multiplicative
+    /// threshold catches real slowdowns; the small absolute slack keeps
+    /// sub-nanosecond kernels from tripping the gate on timer jitter.
+    ///
+    /// Kernels present only on one side are ignored — a renamed or new
+    /// kernel is a baseline-refresh event, not a regression.
+    pub fn regressions_against(
+        &self,
+        baseline: &[(String, f64)],
+        max_ratio: f64,
+        slack_ns: f64,
+    ) -> Vec<KernelRegression> {
+        self.entries
+            .iter()
+            .filter_map(|e| {
+                let base = baseline.iter().find(|(name, _)| *name == e.name)?.1;
+                (e.ns_per_op > base * max_ratio + slack_ns).then(|| KernelRegression {
+                    name: e.name.clone(),
+                    baseline_ns: base,
+                    fresh_ns: e.ns_per_op,
+                })
+            })
+            .collect()
+    }
+}
+
+/// One kernel whose fresh timing exceeded the regression gate.
+#[derive(Debug, Clone)]
+pub struct KernelRegression {
+    /// Kernel name.
+    pub name: String,
+    /// Baseline nanoseconds per op.
+    pub baseline_ns: f64,
+    /// Fresh (regressed) nanoseconds per op.
+    pub fresh_ns: f64,
+}
+
+impl KernelRegression {
+    /// Fresh-over-baseline slowdown factor.
+    pub fn ratio(&self) -> f64 {
+        if self.baseline_ns > 0.0 {
+            self.fresh_ns / self.baseline_ns
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Extracts `(kernel name, ns_per_op)` pairs from a report previously
+/// written by [`KernelReport::to_json`].
+///
+/// This reads the writer's own one-kernel-per-line layout — it is a
+/// baseline loader, not a general JSON parser (the workspace is
+/// dependency-free by constraint). Lines that don't look like kernel
+/// entries, and entries whose `ns_per_op` was serialized as `null`, are
+/// skipped.
+pub fn parse_baseline(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("{\"kernel\": \"") else { continue };
+        let Some(end) = rest.find('"') else { continue };
+        let name = &rest[..end];
+        let Some(val) = rest[end..].split("\"ns_per_op\": ").nth(1) else { continue };
+        let val = val.split([',', '}']).next().unwrap_or("").trim();
+        if let Ok(ns) = val.parse::<f64>() {
+            out.push((name.to_owned(), ns));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -122,6 +195,49 @@ mod tests {
         assert!(json.contains("mat\\\"mul"), "quotes must be escaped: {json}");
         assert!(json.contains("\"total_secs\": null"));
         assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn baseline_round_trips_through_the_writer() {
+        let mut r = KernelReport::new(true);
+        r.push(KernelEntry::new("dot/64", 64, 1000, 0.001, 1.0));
+        r.push(KernelEntry::new("matmul/24x48x24", 27648, 20, 0.004, 2.0));
+        let base = parse_baseline(&r.to_json());
+        assert_eq!(base.len(), 2);
+        assert_eq!(base[0].0, "dot/64");
+        assert!((base[0].1 - r.entries[0].ns_per_op).abs() < 1e-3);
+        assert_eq!(base[1].0, "matmul/24x48x24");
+    }
+
+    #[test]
+    fn baseline_parser_skips_nulls_and_noise() {
+        let doc = "{\n  \"quick\": true,\n  \"kernels\": [\n    \
+                   {\"kernel\": \"a\", \"n\": 1, \"reps\": 0, \"total_secs\": null, \
+                   \"ns_per_op\": null, \"checksum\": 0.0},\n    \
+                   {\"kernel\": \"b\", \"n\": 1, \"reps\": 1, \"total_secs\": 0.1, \
+                   \"ns_per_op\": 5.25, \"checksum\": 0.0}\n  ]\n}\n";
+        let base = parse_baseline(doc);
+        assert_eq!(base, vec![("b".to_owned(), 5.25)]);
+    }
+
+    #[test]
+    fn gate_flags_only_true_regressions() {
+        let base = vec![("dot/64".to_owned(), 100.0), ("axpy/64".to_owned(), 0.4)];
+        let mut fresh = KernelReport::new(true);
+        // 1.30x the baseline: past the 20% gate.
+        fresh.push(KernelEntry::new("dot/64", 64, 1000, 130.0e-9 * 1000.0, 0.0));
+        // 2x a sub-nanosecond kernel: absorbed by the absolute slack.
+        fresh.push(KernelEntry::new("axpy/64", 64, 1000, 0.8e-9 * 1000.0, 0.0));
+        // Unknown kernel: ignored, not a regression.
+        fresh.push(KernelEntry::new("new_kernel/8", 8, 1000, 1.0, 0.0));
+        let regs = fresh.regressions_against(&base, 1.2, 0.5);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].name, "dot/64");
+        assert!((regs[0].ratio() - 1.3).abs() < 1e-9);
+        // A 10% slowdown stays green.
+        let mut ok = KernelReport::new(true);
+        ok.push(KernelEntry::new("dot/64", 64, 1000, 110.0e-9 * 1000.0, 0.0));
+        assert!(ok.regressions_against(&base, 1.2, 0.5).is_empty());
     }
 
     #[test]

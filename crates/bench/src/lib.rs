@@ -118,6 +118,31 @@ pub struct PhaseTimings {
     pub pairs_scored: usize,
     /// Users ranked by the top-K protocol.
     pub users_ranked: usize,
+    /// Training rows consumed by `fit`: epochs × training interactions.
+    pub fit_rows: usize,
+    /// Training passes over the interaction data
+    /// ([`Recommender::fit_epochs`]).
+    pub fit_epochs: usize,
+}
+
+impl PhaseTimings {
+    /// Training rows per wall-clock second of `fit` (0 when untimed).
+    pub fn fit_rows_per_sec(&self) -> f64 {
+        if self.fit_secs > 0.0 {
+            self.fit_rows as f64 / self.fit_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Training epochs per wall-clock second of `fit` (0 when untimed).
+    pub fn epochs_per_sec(&self) -> f64 {
+        if self.fit_secs > 0.0 {
+            self.fit_epochs as f64 / self.fit_secs
+        } else {
+            0.0
+        }
+    }
 }
 
 /// What a supervised evaluation produced for one model: the training
@@ -157,9 +182,15 @@ pub fn evaluate_model_supervised(
 ) -> ModelReport {
     let name = model.name();
     let family = family_of(model);
+    let fit_epochs = model.fit_epochs();
+    let fit_rows = fit_epochs * split.train.num_interactions();
     let mut outcome = supervise_fit(model, &synth.dataset, &split.train, config);
-    let mut timings =
-        PhaseTimings { fit_secs: outcome.elapsed.as_secs_f64(), ..PhaseTimings::default() };
+    let mut timings = PhaseTimings {
+        fit_secs: outcome.elapsed.as_secs_f64(),
+        fit_rows,
+        fit_epochs,
+        ..PhaseTimings::default()
+    };
     let row = if outcome.is_usable() {
         let fit_seconds = outcome.elapsed.as_secs_f64();
         let fam = family.clone();
@@ -188,6 +219,8 @@ pub fn evaluate_model_supervised(
                 rank_secs,
                 pairs_scored: ctr.pairs,
                 users_ranked: topk.users_evaluated,
+                fit_rows,
+                fit_epochs,
             };
             (row, timing)
         }));
@@ -211,8 +244,11 @@ pub fn evaluate_model_supervised(
 
 /// Evaluates a whole roster under supervision, sharding **models**
 /// across the worker pool (each model's own protocols then run
-/// single-threaded — the two parallelism layers are not stacked, so a
-/// run is never oversubscribed).
+/// single-threaded — the two protocol layers are not stacked, so
+/// ranking is never oversubscribed). Model *fits* resolve their own
+/// worker count from `KGREC_THREADS`; suite binaries pin that variable
+/// to the run's `--threads` value so the fit path parallelizes — and
+/// serializes — together with the rest of the run.
 ///
 /// Reports come back in roster order regardless of which worker finished
 /// first, and each model's training RNG is seeded per model exactly as

@@ -6,10 +6,16 @@
 //! plus L2 regularization. MKR's and RCF's KGE modules are DistMult-style
 //! semantic matchers.
 
+use crate::grad::{GradBatch, GradOp};
 use crate::model::KgeModel;
 use kgrec_graph::{EntityId, RelationId, Triple};
 use kgrec_linalg::{vector, EmbeddingTable, Scratch};
 use rand::Rng;
+
+/// Grad-batch table id of the entity table.
+const T_ENT: u8 = 0;
+/// Grad-batch table id of the relation table.
+const T_REL: u8 = 1;
 
 /// The DistMult model.
 #[derive(Debug)]
@@ -97,6 +103,36 @@ impl DistMult {
         loss
     }
 
+    /// Records the ops of `train_labeled(triple, label, lr)` into `out`
+    /// without touching any parameter (same per-element gradient
+    /// expressions, L2 term included); returns the loss.
+    fn record_labeled(&self, triple: Triple, label: f32, out: &mut GradBatch) -> f32 {
+        let (h, r, t) = (triple.head, triple.rel, triple.tail);
+        let s = self.trilinear(h, r, t);
+        let loss = vector::softplus(-label * s);
+        let dl_ds = -label * vector::sigmoid(-label * s);
+        let d = self.entities.dim();
+        let hv = self.entities.row(h.index());
+        let rv = self.relations.row(r.index());
+        let tv = self.entities.row(t.index());
+        let seg_gh = out.alloc(d);
+        for (i, g) in out.seg_mut(seg_gh).iter_mut().enumerate() {
+            *g = dl_ds * rv[i] * tv[i] + self.l2 * hv[i];
+        }
+        let seg_gr = out.alloc(d);
+        for (i, g) in out.seg_mut(seg_gr).iter_mut().enumerate() {
+            *g = dl_ds * hv[i] * tv[i] + self.l2 * rv[i];
+        }
+        let seg_gt = out.alloc(d);
+        for (i, g) in out.seg_mut(seg_gt).iter_mut().enumerate() {
+            *g = dl_ds * hv[i] * rv[i] + self.l2 * tv[i];
+        }
+        out.push_op(GradOp::AddRow { table: T_ENT, row: h.0, coeff: 1.0, seg: seg_gh });
+        out.push_op(GradOp::AddRow { table: T_REL, row: r.0, coeff: 1.0, seg: seg_gr });
+        out.push_op(GradOp::AddRow { table: T_ENT, row: t.0, coeff: 1.0, seg: seg_gt });
+        loss
+    }
+
     /// Read access to the entity table.
     pub fn entities(&self) -> &EmbeddingTable {
         &self.entities
@@ -135,6 +171,26 @@ impl KgeModel for DistMult {
 
     fn train_pair(&mut self, pos: Triple, neg: Triple, lr: f32) -> f32 {
         self.train_labeled(pos, 1.0, lr) + self.train_labeled(neg, -1.0, lr)
+    }
+
+    fn supports_grad_batches(&self) -> bool {
+        true
+    }
+
+    fn grad_pair(&self, pos: Triple, neg: Triple, out: &mut GradBatch) -> f32 {
+        self.record_labeled(pos, 1.0, out) + self.record_labeled(neg, -1.0, out)
+    }
+
+    fn apply_grads(&mut self, batch: &GradBatch, lr: f32) {
+        for op in batch.ops() {
+            match *op {
+                GradOp::AddRow { table, row, coeff, seg } => {
+                    let t = if table == T_ENT { &mut self.entities } else { &mut self.relations };
+                    t.add_to_row(row as usize, -lr * coeff, batch.seg(seg));
+                }
+                _ => unreachable!("DistMult records only AddRow ops"),
+            }
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -166,7 +166,11 @@ mod tests {
         let before = link_prediction(&untrained, &g, &test).unwrap();
 
         let mut trained = untrained.clone();
-        train(&mut trained, &g, &TrainConfig { epochs: 80, learning_rate: 0.05, seed: 4 });
+        train(
+            &mut trained,
+            &g,
+            &TrainConfig { epochs: 80, learning_rate: 0.05, seed: 4, threads: None },
+        );
         let after = link_prediction(&trained, &g, &test).unwrap();
         assert!(
             after.mrr >= before.mrr,

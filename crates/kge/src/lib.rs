@@ -20,6 +20,7 @@
 
 pub mod distmult;
 pub mod eval;
+pub mod grad;
 pub mod metapath2vec;
 pub mod model;
 pub mod trainer;
@@ -29,6 +30,7 @@ pub mod transh;
 pub mod transr;
 
 pub use distmult::DistMult;
+pub use grad::{GradBatch, GradOp};
 pub use model::KgeModel;
 pub use trainer::{
     train, train_guarded, train_with, EpochStats, GuardedReport, TrainConfig, TrainControl,

@@ -1,5 +1,6 @@
 //! The shared KGE model interface.
 
+use crate::grad::GradBatch;
 use kgrec_graph::{EntityId, RelationId, Triple};
 
 /// A trainable knowledge-graph embedding model.
@@ -48,6 +49,35 @@ pub trait KgeModel: Send + Sync {
         for &(pos, neg) in pairs {
             losses.push(self.train_pair(pos, neg, lr));
         }
+    }
+
+    /// Whether the model implements the recorded-gradient pair
+    /// ([`Self::grad_pair`] / [`Self::apply_grads`]) and should be trained
+    /// through the deterministic batched path. Defaults to `false`: such
+    /// models keep the sequential per-pair trajectory.
+    fn supports_grad_batches(&self) -> bool {
+        false
+    }
+
+    /// Computes the gradients of one (positive, negative) pair against the
+    /// *frozen* current parameters, recording every update and constraint
+    /// projection as ops in `out`. Returns the pair's loss. Must not
+    /// mutate any parameter — `&self` enforces it — so workers can record
+    /// batches concurrently.
+    ///
+    /// Unlike [`Self::train_pair`], the negative triple's gradients are
+    /// evaluated at the same frozen parameters as the positive's (the
+    /// sequential path updates between the two); the batched trainer's
+    /// trajectory is therefore a frozen-minibatch variant of SGD, not a
+    /// replay of the sequential one — but it is identical at every thread
+    /// count.
+    fn grad_pair(&self, _pos: Triple, _neg: Triple, _out: &mut GradBatch) -> f32 {
+        unimplemented!("grad_pair requires supports_grad_batches()")
+    }
+
+    /// Applies a recorded batch in op order with learning rate `lr`.
+    fn apply_grads(&mut self, _batch: &GradBatch, _lr: f32) {
+        unimplemented!("apply_grads requires supports_grad_batches()")
     }
 
     /// Applies per-epoch constraints (norm projections). Default: nothing.

@@ -6,13 +6,26 @@
 //! to the model. Corruptions that happen to be true facts are re-sampled
 //! (the "filtered" convention), bounded by a retry cap so pathological
 //! relations cannot loop forever.
+//!
+//! Models that implement the recorded-gradient pair
+//! ([`KgeModel::grad_pair`] / [`KgeModel::apply_grads`]) train through the
+//! **deterministic batched path**: each shuffled epoch is cut into
+//! fixed-size chunks, every chunk's gradients are computed against the
+//! chunk-start parameters on [`kgrec_linalg::par`] workers (one
+//! [`GradBatch`] per fixed sub-batch), and the recorded ops are applied in
+//! sub-batch index order. Sub-batch boundaries depend only on the data —
+//! never on the worker count — so parameters, losses, and every
+//! downstream metric are bit-identical at any thread count.
 
+use crate::grad::GradBatch;
 use crate::model::KgeModel;
 use kgrec_graph::{EntityId, KnowledgeGraph, Triple};
+use kgrec_linalg::par;
 use kgrec_linalg::stability::{DivergencePolicy, LossMonitor, LossVerdict};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
+use std::sync::Mutex;
 
 /// Training-loop configuration.
 #[derive(Debug, Clone)]
@@ -23,11 +36,16 @@ pub struct TrainConfig {
     pub learning_rate: f32,
     /// RNG seed (corruption sampling and triple shuffling).
     pub seed: u64,
+    /// Worker threads for the batched gradient path. `None` (the default)
+    /// resolves through [`par::resolve_threads`] — the `KGREC_THREADS`
+    /// environment variable, then the machine's available parallelism.
+    /// The trained parameters are identical for every value.
+    pub threads: Option<usize>,
 }
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 30, learning_rate: 0.05, seed: 7 }
+        Self { epochs: 30, learning_rate: 0.05, seed: 7, threads: None }
     }
 }
 
@@ -60,6 +78,16 @@ pub fn corrupt<R: Rng + ?Sized>(graph: &KnowledgeGraph, triple: Triple, rng: &mu
     let tail = EntityId((triple.tail.0 + rng.gen_range(1..n)) % n);
     Triple::new(triple.head, triple.rel, tail)
 }
+
+/// Sequential-path batch size: pairs handed to `train_batch` at a time.
+const BATCH: usize = 64;
+/// Batched-path chunk: pairs whose gradients share one frozen parameter
+/// snapshot. Larger chunks amortize the fork/join of the worker pass.
+const GRAD_CHUNK: usize = 256;
+/// Batched-path sub-batch: pairs recorded into one [`GradBatch`]. Fixed —
+/// never derived from the worker count — so the op application order is
+/// identical at any thread count.
+const GRAD_SUB: usize = 64;
 
 /// Per-epoch training statistics handed to [`train_with`] observers.
 #[derive(Debug, Clone, Copy)]
@@ -107,14 +135,21 @@ where
     let mut order: Vec<usize> = (0..graph.num_triples()).collect();
     let mut curve = Vec::with_capacity(config.epochs);
     // Reusable batch buffers: corruption draws are front-loaded per chunk
-    // so the model sees a contiguous slice of pairs (`train_batch`) instead
-    // of an alternating sample/update cadence. The RNG stream is identical
-    // to the per-pair loop because `train_pair` never touches the RNG, and
-    // the loss accumulation order is identical because `train_batch`
-    // reports per-pair losses in order.
-    const BATCH: usize = 64;
-    let mut batch: Vec<(Triple, Triple)> = Vec::with_capacity(BATCH);
+    // so the model sees a contiguous slice of pairs instead of an
+    // alternating sample/update cadence. The RNG stream is identical to
+    // the per-pair loop because training never touches the RNG, and the
+    // loss accumulation order is identical because losses are reported in
+    // pair order. Chunk size does not affect the RNG stream either — only
+    // the draw *order* matters, and that is always triple order.
+    let batched = model.supports_grad_batches();
+    let threads = par::resolve_threads(config.threads);
+    let mut pairs: Vec<(Triple, Triple)> =
+        Vec::with_capacity(if batched { GRAD_CHUNK } else { BATCH });
     let mut losses: Vec<f32> = Vec::with_capacity(BATCH);
+    // Free-list of gradient arenas, reused across chunks and epochs so the
+    // steady state allocates nothing (the batched-path analogue of the
+    // models' `Scratch`).
+    let pool: Mutex<Vec<GradBatch>> = Mutex::new(Vec::new());
     for epoch in 0..config.epochs {
         // Fresh shuffle per epoch.
         for i in (1..order.len()).rev() {
@@ -122,17 +157,47 @@ where
             order.swap(i, j);
         }
         let mut total = 0.0f64;
-        for chunk in order.chunks(BATCH) {
-            batch.clear();
-            for &idx in chunk {
-                let pos = graph.triples()[idx];
-                batch.push((pos, corrupt(graph, pos, &mut rng)));
+        if batched {
+            for chunk in order.chunks(GRAD_CHUNK) {
+                pairs.clear();
+                for &idx in chunk {
+                    let pos = graph.triples()[idx];
+                    pairs.push((pos, corrupt(graph, pos, &mut rng)));
+                }
+                // Sub-batch boundaries are fixed by GRAD_SUB, independent
+                // of the worker count; par_map returns in input order.
+                let subs: Vec<&[(Triple, Triple)]> = pairs.chunks(GRAD_SUB).collect();
+                let frozen: &M = model;
+                let batches = par::par_map(&subs, threads, |_, sub| {
+                    let mut gb = pool.lock().expect("grad pool poisoned").pop().unwrap_or_default();
+                    gb.clear();
+                    for &(pos, neg) in *sub {
+                        let loss = frozen.grad_pair(pos, neg, &mut gb);
+                        gb.push_loss(loss);
+                    }
+                    gb
+                });
+                for gb in batches {
+                    model.apply_grads(&gb, config.learning_rate);
+                    for &loss in gb.losses() {
+                        total += f64::from(loss);
+                    }
+                    pool.lock().expect("grad pool poisoned").push(gb);
+                }
             }
-            losses.clear();
-            model.train_batch(&batch, config.learning_rate, &mut losses);
-            debug_assert_eq!(losses.len(), batch.len(), "train_batch must report every pair");
-            for &loss in &losses {
-                total += f64::from(loss);
+        } else {
+            for chunk in order.chunks(BATCH) {
+                pairs.clear();
+                for &idx in chunk {
+                    let pos = graph.triples()[idx];
+                    pairs.push((pos, corrupt(graph, pos, &mut rng)));
+                }
+                losses.clear();
+                model.train_batch(&pairs, config.learning_rate, &mut losses);
+                debug_assert_eq!(losses.len(), pairs.len(), "train_batch must report every pair");
+                for &loss in &losses {
+                    total += f64::from(loss);
+                }
             }
         }
         model.post_epoch();
@@ -284,7 +349,11 @@ mod tests {
         let g = toy_graph();
         let mut rng = StdRng::seed_from_u64(2);
         let mut m = TransE::new(&mut rng, g.num_entities(), g.num_relations(), 8, 1.0);
-        let curve = train(&mut m, &g, &TrainConfig { epochs: 25, learning_rate: 0.05, seed: 3 });
+        let curve = train(
+            &mut m,
+            &g,
+            &TrainConfig { epochs: 25, learning_rate: 0.05, seed: 3, threads: None },
+        );
         assert_eq!(curve.len(), 25);
         let head: f32 = curve[..5].iter().sum::<f32>() / 5.0;
         let tail: f32 = curve[20..].iter().sum::<f32>() / 5.0;
@@ -296,7 +365,7 @@ mod tests {
         let g = toy_graph();
         let mut rng = StdRng::seed_from_u64(4);
         let mut m = TransE::new(&mut rng, g.num_entities(), g.num_relations(), 16, 1.0);
-        train(&mut m, &g, &TrainConfig { epochs: 60, learning_rate: 0.05, seed: 5 });
+        train(&mut m, &g, &TrainConfig { epochs: 60, learning_rate: 0.05, seed: 5, threads: None });
         // Mean score of facts vs. cross-cluster non-facts.
         let fact_mean: f32 =
             g.triples().iter().map(|t| m.score(t.head, t.rel, t.tail)).sum::<f32>()
@@ -367,7 +436,7 @@ mod tests {
         let g = toy_graph();
         let mut rng = StdRng::seed_from_u64(13);
         let mut m = TransE::new(&mut rng, g.num_entities(), g.num_relations(), 8, 1.0);
-        let cfg = TrainConfig { epochs: 30, learning_rate: 0.05, seed: 14 };
+        let cfg = TrainConfig { epochs: 30, learning_rate: 0.05, seed: 14, threads: None };
         let curve = train_with(&mut m, &g, &cfg, |_, stats| {
             if stats.epoch >= 4 {
                 TrainControl::Stop
@@ -383,7 +452,7 @@ mod tests {
         let g = toy_graph();
         let mut rng = StdRng::seed_from_u64(15);
         let mut m = TransE::new(&mut rng, g.num_entities(), g.num_relations(), 8, 1.0);
-        let cfg = TrainConfig { epochs: 20, learning_rate: 0.05, seed: 16 };
+        let cfg = TrainConfig { epochs: 20, learning_rate: 0.05, seed: 16, threads: None };
         let report = train_guarded(&mut m, &g, &cfg, DivergencePolicy::default());
         assert!(report.completed());
         assert!(report.usable());
@@ -448,7 +517,7 @@ mod tests {
         // epoch 4 (two consecutive epochs above 4× best=0.2).
         let script = [1.0, 0.5, 0.2, 50.0, 60.0, 70.0];
         let mut m = scripted(&g, &script);
-        let cfg = TrainConfig { epochs: script.len(), learning_rate: 0.1, seed: 17 };
+        let cfg = TrainConfig { epochs: script.len(), learning_rate: 0.1, seed: 17, threads: None };
         let policy = DivergencePolicy { factor: 4.0, patience: 2, max_loss: 1e6 };
         let report = train_guarded(&mut m, &g, &cfg, policy);
         assert_eq!(report.aborted_at, Some(4));
@@ -464,7 +533,7 @@ mod tests {
         let g = toy_graph();
         let script = [0.8, f32::NAN, 0.1];
         let mut m = scripted(&g, &script);
-        let cfg = TrainConfig { epochs: script.len(), learning_rate: 0.1, seed: 18 };
+        let cfg = TrainConfig { epochs: script.len(), learning_rate: 0.1, seed: 18, threads: None };
         let report = train_guarded(&mut m, &g, &cfg, DivergencePolicy::default());
         assert_eq!(report.aborted_at, Some(1));
         assert!(report.rolled_back, "epoch 0 was healthy, so a snapshot exists");
@@ -477,7 +546,7 @@ mod tests {
         let g = toy_graph();
         let script = [f32::INFINITY];
         let mut m = scripted(&g, &script);
-        let cfg = TrainConfig { epochs: 5, learning_rate: 0.1, seed: 19 };
+        let cfg = TrainConfig { epochs: 5, learning_rate: 0.1, seed: 19, threads: None };
         let report = train_guarded(&mut m, &g, &cfg, DivergencePolicy::default());
         assert_eq!(report.aborted_at, Some(0));
         assert!(!report.rolled_back, "no healthy snapshot exists");

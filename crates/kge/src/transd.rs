@@ -7,10 +7,20 @@
 //! `d(h,r,t) = ‖h + (h_pᵀh)r_p + r − t − (t_pᵀt)r_p‖²`.
 //! DKN encodes its news entities with this model.
 
+use crate::grad::{GradBatch, GradOp};
 use crate::model::KgeModel;
 use kgrec_graph::{EntityId, RelationId, Triple};
 use kgrec_linalg::{vector, EmbeddingTable, Scratch};
 use rand::Rng;
+
+/// Grad-batch table id of the entity table.
+const T_ENT: u8 = 0;
+/// Grad-batch table id of the entity-projector table.
+const T_ENT_P: u8 = 1;
+/// Grad-batch table id of the relation table.
+const T_REL: u8 = 2;
+/// Grad-batch table id of the relation-projector table.
+const T_REL_P: u8 = 3;
 
 /// The TransD model (entity dim == relation dim).
 #[derive(Debug)]
@@ -163,6 +173,79 @@ impl TransD {
         self.scratch.put(grad_rp);
     }
 
+    /// Records the ops of `apply(triple, scale, lr)` into `out` without
+    /// touching any parameter: the residual is staged once, the six
+    /// gradients are written with `apply`'s exact per-element expressions,
+    /// and the six ball projections replay in the same order.
+    fn record_apply(&self, triple: Triple, scale: f32, out: &mut GradBatch) {
+        let (h, r, t) = (triple.head, triple.rel, triple.tail);
+        let d = self.entities.dim();
+        let seg_v = out.alloc(d);
+        self.residual_into(h, r, t, out.seg_mut(seg_v));
+        let hv = self.entities.row(h.index());
+        let tv = self.entities.row(t.index());
+        let hp = self.entity_proj.row(h.index());
+        let tp = self.entity_proj.row(t.index());
+        let rp = self.relation_proj.row(r.index());
+        let a = vector::dot(hp, hv);
+        let b = vector::dot(tp, tv);
+        let c = vector::dot(rp, out.seg(seg_v));
+        let seg_gh = out.alloc(d);
+        {
+            let (g, [v]) = out.seg_mut_with(seg_gh, [seg_v]);
+            for i in 0..d {
+                g[i] = 2.0 * (v[i] + c * hp[i]);
+            }
+        }
+        let seg_ghp = out.alloc(d);
+        for (g, x) in out.seg_mut(seg_ghp).iter_mut().zip(hv) {
+            *g = 2.0 * c * x;
+        }
+        let seg_gt = out.alloc(d);
+        {
+            let (g, [v]) = out.seg_mut_with(seg_gt, [seg_v]);
+            for i in 0..d {
+                g[i] = -2.0 * (v[i] + c * tp[i]);
+            }
+        }
+        let seg_gtp = out.alloc(d);
+        for (g, x) in out.seg_mut(seg_gtp).iter_mut().zip(tv) {
+            *g = -2.0 * c * x;
+        }
+        let seg_gr = out.alloc(d);
+        {
+            let (g, [v]) = out.seg_mut_with(seg_gr, [seg_v]);
+            vector::scale_assign(2.0, v, g);
+        }
+        let seg_grp = out.alloc(d);
+        {
+            let (g, [v]) = out.seg_mut_with(seg_grp, [seg_v]);
+            vector::scale_assign(2.0 * (a - b), v, g);
+        }
+        out.push_op(GradOp::AddRow { table: T_ENT, row: h.0, coeff: scale, seg: seg_gh });
+        out.push_op(GradOp::AddRow { table: T_ENT_P, row: h.0, coeff: scale, seg: seg_ghp });
+        out.push_op(GradOp::AddRow { table: T_ENT, row: t.0, coeff: scale, seg: seg_gt });
+        out.push_op(GradOp::AddRow { table: T_ENT_P, row: t.0, coeff: scale, seg: seg_gtp });
+        out.push_op(GradOp::AddRow { table: T_REL, row: r.0, coeff: scale, seg: seg_gr });
+        out.push_op(GradOp::AddRow { table: T_REL_P, row: r.0, coeff: scale, seg: seg_grp });
+        out.push_op(GradOp::ProjectBall { table: T_ENT, row: h.0, radius: 1.0 });
+        out.push_op(GradOp::ProjectBall { table: T_ENT, row: t.0, radius: 1.0 });
+        out.push_op(GradOp::ProjectBall { table: T_REL, row: r.0, radius: 1.0 });
+        out.push_op(GradOp::ProjectBall { table: T_ENT_P, row: h.0, radius: 1.0 });
+        out.push_op(GradOp::ProjectBall { table: T_ENT_P, row: t.0, radius: 1.0 });
+        out.push_op(GradOp::ProjectBall { table: T_REL_P, row: r.0, radius: 1.0 });
+    }
+
+    /// The table a grad-op id refers to, mutably.
+    fn table_mut(&mut self, table: u8) -> &mut EmbeddingTable {
+        match table {
+            T_ENT => &mut self.entities,
+            T_ENT_P => &mut self.entity_proj,
+            T_REL => &mut self.relations,
+            _ => &mut self.relation_proj,
+        }
+    }
+
     /// Read access to the entity table.
     pub fn entities(&self) -> &EmbeddingTable {
         &self.entities
@@ -203,6 +286,36 @@ impl KgeModel for TransD {
             loss
         } else {
             0.0
+        }
+    }
+
+    fn supports_grad_batches(&self) -> bool {
+        true
+    }
+
+    fn grad_pair(&self, pos: Triple, neg: Triple, out: &mut GradBatch) -> f32 {
+        let loss = self.margin + self.distance(pos.head, pos.rel, pos.tail)
+            - self.distance(neg.head, neg.rel, neg.tail);
+        if loss > 0.0 {
+            self.record_apply(pos, 1.0, out);
+            self.record_apply(neg, -1.0, out);
+            loss
+        } else {
+            0.0
+        }
+    }
+
+    fn apply_grads(&mut self, batch: &GradBatch, lr: f32) {
+        for op in batch.ops() {
+            match *op {
+                GradOp::AddRow { table, row, coeff, seg } => {
+                    self.table_mut(table).add_to_row(row as usize, -lr * coeff, batch.seg(seg));
+                }
+                GradOp::ProjectBall { table, row, radius } => {
+                    vector::project_to_ball(self.table_mut(table).row_mut(row as usize), radius);
+                }
+                _ => unreachable!("TransD records only AddRow/ProjectBall ops"),
+            }
         }
     }
 

@@ -4,10 +4,16 @@
 //! loss `[γ + d(pos) − d(neg)]₊`. Entity embeddings are renormalized to the
 //! unit ball after each epoch, as in the original paper.
 
+use crate::grad::{GradBatch, GradOp};
 use crate::model::KgeModel;
 use kgrec_graph::{EntityId, RelationId, Triple};
 use kgrec_linalg::{EmbeddingTable, Scratch};
 use rand::Rng;
+
+/// Grad-batch table id of the entity table.
+const T_ENT: u8 = 0;
+/// Grad-batch table id of the relation table.
+const T_REL: u8 = 1;
 
 /// The TransE model.
 #[derive(Debug)]
@@ -99,6 +105,20 @@ impl TransE {
         self.scratch.put(g);
     }
 
+    /// Records the ops of `apply(triple, scale, lr)` into `out` without
+    /// touching any parameter: the shared gradient `g = 2(h + r − t)` is
+    /// written once and referenced by all three row updates, followed by
+    /// the same two ball projections `apply` performs.
+    fn record_apply(&self, triple: Triple, scale: f32, out: &mut GradBatch) {
+        let seg = out.alloc(self.entities.dim());
+        self.distance_grad_into(triple.head, triple.rel, triple.tail, out.seg_mut(seg));
+        out.push_op(GradOp::AddRow { table: T_ENT, row: triple.head.0, coeff: scale, seg });
+        out.push_op(GradOp::AddRow { table: T_REL, row: triple.rel.0, coeff: scale, seg });
+        out.push_op(GradOp::AddRow { table: T_ENT, row: triple.tail.0, coeff: -scale, seg });
+        out.push_op(GradOp::ProjectBall { table: T_ENT, row: triple.head.0, radius: 1.0 });
+        out.push_op(GradOp::ProjectBall { table: T_ENT, row: triple.tail.0, radius: 1.0 });
+    }
+
     /// Read access to the entity table (for downstream recommenders).
     pub fn entities(&self) -> &EmbeddingTable {
         &self.entities
@@ -152,6 +172,40 @@ impl KgeModel for TransE {
             loss
         } else {
             0.0
+        }
+    }
+
+    fn supports_grad_batches(&self) -> bool {
+        true
+    }
+
+    fn grad_pair(&self, pos: Triple, neg: Triple, out: &mut GradBatch) -> f32 {
+        let loss = self.margin + self.distance(pos.head, pos.rel, pos.tail)
+            - self.distance(neg.head, neg.rel, neg.tail);
+        if loss > 0.0 {
+            self.record_apply(pos, 1.0, out);
+            self.record_apply(neg, -1.0, out);
+            loss
+        } else {
+            0.0
+        }
+    }
+
+    fn apply_grads(&mut self, batch: &GradBatch, lr: f32) {
+        for op in batch.ops() {
+            match *op {
+                GradOp::AddRow { table, row, coeff, seg } => {
+                    let t = if table == T_ENT { &mut self.entities } else { &mut self.relations };
+                    t.add_to_row(row as usize, -lr * coeff, batch.seg(seg));
+                }
+                GradOp::ProjectBall { row, radius, .. } => {
+                    kgrec_linalg::vector::project_to_ball(
+                        self.entities.row_mut(row as usize),
+                        radius,
+                    );
+                }
+                _ => unreachable!("TransE records only AddRow/ProjectBall ops"),
+            }
         }
     }
 

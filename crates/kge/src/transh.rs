@@ -6,10 +6,18 @@
 //! an entity to have different projections per relation — the fix for
 //! TransE's problems with 1-to-N / N-to-1 relations.
 
+use crate::grad::{GradBatch, GradOp};
 use crate::model::KgeModel;
 use kgrec_graph::{EntityId, RelationId, Triple};
 use kgrec_linalg::{vector, EmbeddingTable, Scratch};
 use rand::Rng;
+
+/// Grad-batch table id of the entity table.
+const T_ENT: u8 = 0;
+/// Grad-batch table id of the translation table.
+const T_TRA: u8 = 1;
+/// Grad-batch table id of the hyperplane-normal table.
+const T_NOR: u8 = 2;
 
 /// The TransH model.
 #[derive(Debug)]
@@ -141,6 +149,56 @@ impl TransH {
         self.scratch.put(grad_w);
     }
 
+    /// Records the ops of `apply(triple, scale, lr)` into `out`. The
+    /// gradients use the same formulas as `apply` (with `u = h − t`
+    /// expanded in place instead of materialised), and the two ball
+    /// projections plus the normal renormalization replay in the same
+    /// order.
+    fn record_apply(&self, triple: Triple, scale: f32, out: &mut GradBatch) {
+        let d = self.entities.dim();
+        let seg_v = out.alloc(d);
+        self.residual_into(triple.head, triple.rel, triple.tail, out.seg_mut(seg_v));
+        let w = self.normals.row(triple.rel.index());
+        let hv = self.entities.row(triple.head.index());
+        let tv = self.entities.row(triple.tail.index());
+        let wv = vector::dot(w, out.seg(seg_v));
+        let mut wu = 0.0f32;
+        for i in 0..d {
+            wu += w[i] * (hv[i] - tv[i]);
+        }
+        let seg_gh = out.alloc(d);
+        {
+            let (gh, [v]) = out.seg_mut_with(seg_gh, [seg_v]);
+            for i in 0..d {
+                gh[i] = 2.0 * (v[i] - wv * w[i]);
+            }
+        }
+        let seg_gdr = out.alloc(d);
+        {
+            let (gdr, [v]) = out.seg_mut_with(seg_gdr, [seg_v]);
+            vector::scale_assign(2.0, v, gdr);
+        }
+        let seg_gw = out.alloc(d);
+        {
+            let (gw, [v]) = out.seg_mut_with(seg_gw, [seg_v]);
+            for i in 0..d {
+                gw[i] = -2.0 * (wv * (hv[i] - tv[i]) + wu * v[i]);
+            }
+        }
+        out.push_op(GradOp::AddRow { table: T_ENT, row: triple.head.0, coeff: scale, seg: seg_gh });
+        out.push_op(GradOp::AddRow {
+            table: T_ENT,
+            row: triple.tail.0,
+            coeff: -scale,
+            seg: seg_gh,
+        });
+        out.push_op(GradOp::AddRow { table: T_TRA, row: triple.rel.0, coeff: scale, seg: seg_gdr });
+        out.push_op(GradOp::AddRow { table: T_NOR, row: triple.rel.0, coeff: scale, seg: seg_gw });
+        out.push_op(GradOp::ProjectBall { table: T_ENT, row: triple.head.0, radius: 1.0 });
+        out.push_op(GradOp::ProjectBall { table: T_ENT, row: triple.tail.0, radius: 1.0 });
+        out.push_op(GradOp::NormalizeRow { table: T_NOR, row: triple.rel.0 });
+    }
+
     /// Read access to the entity table.
     pub fn entities(&self) -> &EmbeddingTable {
         &self.entities
@@ -181,6 +239,44 @@ impl KgeModel for TransH {
             loss
         } else {
             0.0
+        }
+    }
+
+    fn supports_grad_batches(&self) -> bool {
+        true
+    }
+
+    fn grad_pair(&self, pos: Triple, neg: Triple, out: &mut GradBatch) -> f32 {
+        let loss = self.margin + self.distance(pos.head, pos.rel, pos.tail)
+            - self.distance(neg.head, neg.rel, neg.tail);
+        if loss > 0.0 {
+            self.record_apply(pos, 1.0, out);
+            self.record_apply(neg, -1.0, out);
+            loss
+        } else {
+            0.0
+        }
+    }
+
+    fn apply_grads(&mut self, batch: &GradBatch, lr: f32) {
+        for op in batch.ops() {
+            match *op {
+                GradOp::AddRow { table, row, coeff, seg } => {
+                    let t = match table {
+                        T_ENT => &mut self.entities,
+                        T_TRA => &mut self.translations,
+                        _ => &mut self.normals,
+                    };
+                    t.add_to_row(row as usize, -lr * coeff, batch.seg(seg));
+                }
+                GradOp::ProjectBall { row, radius, .. } => {
+                    vector::project_to_ball(self.entities.row_mut(row as usize), radius);
+                }
+                GradOp::NormalizeRow { row, .. } => {
+                    vector::normalize(self.normals.row_mut(row as usize));
+                }
+                _ => unreachable!("TransH records no matrix ops"),
+            }
         }
     }
 

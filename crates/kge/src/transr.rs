@@ -5,10 +5,18 @@
 //! `d(h,r,t) = ‖M_r·h + r − M_r·t‖²`. CKE and KGAT pre-train their entity
 //! representations with exactly this model.
 
+use crate::grad::{GradBatch, GradOp};
 use crate::model::KgeModel;
 use kgrec_graph::{EntityId, RelationId, Triple};
 use kgrec_linalg::{vector, EmbeddingTable, Matrix, Scratch};
 use rand::Rng;
+
+/// Grad-batch table id of the entity table.
+const T_ENT: u8 = 0;
+/// Grad-batch table id of the relation table.
+const T_REL: u8 = 1;
+/// Grad-batch table id of the per-relation projection matrices.
+const T_PROJ: u8 = 2;
 
 /// The TransR model. Entity dim and relation dim may differ.
 #[derive(Debug)]
@@ -147,6 +155,57 @@ impl TransR {
         self.scratch.put(grad_h);
     }
 
+    /// Records the ops of `apply(triple, scale, lr)` into `out` without
+    /// touching any parameter. The residual chain `u = h − t`,
+    /// `v = M_r·u + r`, `2v`, `Mᵀ·2v` is staged through arena segments so
+    /// every recorded vector shares `apply`'s exact accumulation order.
+    fn record_apply(&self, triple: Triple, scale: f32, out: &mut GradBatch) {
+        let d_e = self.entities.dim();
+        let d_r = self.relations.dim();
+        let m = &self.projections[triple.rel.index()];
+        let seg_u = out.alloc(d_e);
+        {
+            let hv = self.entities.row(triple.head.index());
+            let tv = self.entities.row(triple.tail.index());
+            vector::sub_into(hv, tv, out.seg_mut(seg_u));
+        }
+        let seg_v = out.alloc(d_r);
+        {
+            let (v, [u]) = out.seg_mut_with(seg_v, [seg_u]);
+            m.matvec_into(u, v);
+            vector::axpy(1.0, self.relations.row(triple.rel.index()), v);
+        }
+        let seg_2v = out.alloc(d_r);
+        {
+            let (two_v, [v]) = out.seg_mut_with(seg_2v, [seg_v]);
+            vector::scale_assign(2.0, v, two_v);
+        }
+        let seg_gh = out.alloc(d_e);
+        {
+            let (gh, [two_v]) = out.seg_mut_with(seg_gh, [seg_2v]);
+            m.matvec_t_into(two_v, gh);
+        }
+        out.push_op(GradOp::AddRow { table: T_REL, row: triple.rel.0, coeff: scale, seg: seg_2v });
+        out.push_op(GradOp::AddRow { table: T_ENT, row: triple.head.0, coeff: scale, seg: seg_gh });
+        out.push_op(GradOp::AddRow {
+            table: T_ENT,
+            row: triple.tail.0,
+            coeff: -scale,
+            seg: seg_gh,
+        });
+        out.push_op(GradOp::Rank1 {
+            table: T_PROJ,
+            row: triple.rel.0,
+            coeff: 2.0 * scale,
+            v: seg_v,
+            u: seg_u,
+        });
+        out.push_op(GradOp::ProjectBall { table: T_ENT, row: triple.head.0, radius: 1.0 });
+        out.push_op(GradOp::ProjectBall { table: T_ENT, row: triple.tail.0, radius: 1.0 });
+        out.push_op(GradOp::ProjectBall { table: T_REL, row: triple.rel.0, radius: 1.0 });
+        out.push_op(GradOp::ClampFrobenius { table: T_PROJ, row: triple.rel.0 });
+    }
+
     /// Read access to the entity table.
     pub fn entities(&self) -> &EmbeddingTable {
         &self.entities
@@ -201,6 +260,58 @@ impl KgeModel for TransR {
             loss
         } else {
             0.0
+        }
+    }
+
+    fn supports_grad_batches(&self) -> bool {
+        true
+    }
+
+    fn grad_pair(&self, pos: Triple, neg: Triple, out: &mut GradBatch) -> f32 {
+        let loss = self.margin + self.distance(pos.head, pos.rel, pos.tail)
+            - self.distance(neg.head, neg.rel, neg.tail);
+        if loss > 0.0 {
+            self.record_apply(pos, 1.0, out);
+            self.record_apply(neg, -1.0, out);
+            loss
+        } else {
+            0.0
+        }
+    }
+
+    fn apply_grads(&mut self, batch: &GradBatch, lr: f32) {
+        for op in batch.ops() {
+            match *op {
+                GradOp::AddRow { table, row, coeff, seg } => {
+                    let t = if table == T_ENT { &mut self.entities } else { &mut self.relations };
+                    t.add_to_row(row as usize, -lr * coeff, batch.seg(seg));
+                }
+                GradOp::Rank1 { row, coeff, v, u, .. } => {
+                    self.projections[row as usize].rank1_update(
+                        -lr * coeff,
+                        batch.seg(v),
+                        batch.seg(u),
+                    );
+                }
+                GradOp::ProjectBall { table, row, radius } => {
+                    let t = if table == T_ENT { &mut self.entities } else { &mut self.relations };
+                    vector::project_to_ball(t.row_mut(row as usize), radius);
+                }
+                GradOp::ClampFrobenius { row, .. } => {
+                    let m = &mut self.projections[row as usize];
+                    let bound = 2.0 * (m.rows() as f32).sqrt();
+                    let norm = m.frobenius_norm();
+                    if norm > bound {
+                        let ratio = bound / norm;
+                        for x in m.data_mut().iter_mut() {
+                            *x *= ratio;
+                        }
+                    }
+                }
+                GradOp::NormalizeRow { .. } => {
+                    unreachable!("TransR records no NormalizeRow ops")
+                }
+            }
         }
     }
 

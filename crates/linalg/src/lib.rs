@@ -6,6 +6,10 @@
 //! dependency-light substrate every model in `kgrec-models` is built on:
 //!
 //! * [`vector`] — free functions over `&[f32]` slices (dot, axpy, softmax, …);
+//! * [`simd`] — the portable 8-lane blocked kernels behind [`vector`]:
+//!   autovectorization-friendly fixed-width loops that keep the default
+//!   accumulation order bit-identical to scalar code (relaxed only behind
+//!   the `fast-math` cargo feature);
 //! * [`matrix`] — a row-major dense [`matrix::Matrix`] with the product
 //!   kernels the models need (matvec, outer products, Gram updates);
 //! * [`embedding`] — [`embedding::EmbeddingTable`], the workhorse container
@@ -44,6 +48,7 @@ pub mod optim;
 pub mod par;
 pub mod rnn;
 pub mod scratch;
+pub mod simd;
 pub mod stability;
 pub mod vector;
 

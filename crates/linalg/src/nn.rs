@@ -136,6 +136,11 @@ impl Dense {
         &self.b
     }
 
+    /// Mutable bias view (for delta-merging replicated layers).
+    pub fn bias_mut(&mut self) -> &mut [f32] {
+        &mut self.b
+    }
+
     /// Runs the layer forward, caching the activations for `backward`.
     pub fn forward(&mut self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.w.cols(), "Dense::forward: input dim mismatch");

@@ -7,96 +7,66 @@
 //! All functions panic if slice lengths disagree — mismatched dimensions
 //! are programmer errors, never data errors.
 
+use crate::simd;
+
 /// Inner product `x · y`.
 ///
-/// 4-lane unrolled with a **single** accumulator: the additions happen in
-/// exactly the sequence of the scalar loop, so the result is bit-identical
-/// to the naive version while the unroll removes per-element bounds checks
-/// and loop overhead. (Separate partial accumulators would vectorize
-/// better but change the rounding order, which the workspace's
-/// determinism contract forbids.)
+/// Delegates to the 8-lane blocked kernel in [`crate::simd`]. The default
+/// build keeps a single sequential accumulator, so the result is
+/// bit-identical to the naive scalar loop; the `fast-math` feature relaxes
+/// the accumulation order (see the `simd` module docs).
 ///
 /// # Panics
 /// Panics if `x.len() != y.len()`.
 #[inline]
 pub fn dot(x: &[f32], y: &[f32]) -> f32 {
-    assert_eq!(x.len(), y.len(), "dot: dimension mismatch");
-    let n4 = x.len() & !3;
-    let (x4, xr) = x.split_at(n4);
-    let (y4, yr) = y.split_at(n4);
-    let mut acc = 0.0f32;
-    for (a, b) in x4.chunks_exact(4).zip(y4.chunks_exact(4)) {
-        acc += a[0] * b[0];
-        acc += a[1] * b[1];
-        acc += a[2] * b[2];
-        acc += a[3] * b[3];
-    }
-    for (a, b) in xr.iter().zip(yr.iter()) {
-        acc += a * b;
-    }
-    acc
+    simd::dot(x, y)
 }
 
-/// `y += alpha * x` (the BLAS `axpy` kernel).
+/// `y += alpha * x` (the BLAS `axpy` kernel), 8-lane blocked.
 #[inline]
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
-    assert_eq!(x.len(), y.len(), "axpy: dimension mismatch");
-    for (yi, xi) in y.iter_mut().zip(x.iter()) {
-        *yi += alpha * xi;
-    }
+    simd::axpy(alpha, x, y);
 }
 
-/// `x *= alpha`.
+/// `x *= alpha`, 8-lane blocked.
 #[inline]
 pub fn scale(x: &mut [f32], alpha: f32) {
-    for xi in x.iter_mut() {
-        *xi *= alpha;
-    }
+    simd::scale(x, alpha);
 }
 
 /// Element-wise sum `out = x + y` into a caller-provided buffer.
 ///
 /// The allocation-free twin of [`add`]; results are bit-identical.
+#[inline]
 pub fn add_into(x: &[f32], y: &[f32], out: &mut [f32]) {
-    assert_eq!(x.len(), y.len(), "add_into: dimension mismatch");
-    assert_eq!(x.len(), out.len(), "add_into: output dimension mismatch");
-    for i in 0..x.len() {
-        out[i] = x[i] + y[i];
-    }
+    simd::add_into(x, y, out);
 }
 
 /// Element-wise difference `out = x - y` into a caller-provided buffer.
 ///
 /// The allocation-free twin of [`sub`]; results are bit-identical.
+#[inline]
 pub fn sub_into(x: &[f32], y: &[f32], out: &mut [f32]) {
-    assert_eq!(x.len(), y.len(), "sub_into: dimension mismatch");
-    assert_eq!(x.len(), out.len(), "sub_into: output dimension mismatch");
-    for i in 0..x.len() {
-        out[i] = x[i] - y[i];
-    }
+    simd::sub_into(x, y, out);
 }
 
 /// Element-wise (Hadamard) product `out = x ⊙ y` into a caller-provided
 /// buffer.
 ///
 /// The allocation-free twin of [`hadamard`]; results are bit-identical.
+#[inline]
 pub fn mul_into(x: &[f32], y: &[f32], out: &mut [f32]) {
-    assert_eq!(x.len(), y.len(), "mul_into: dimension mismatch");
-    assert_eq!(x.len(), out.len(), "mul_into: output dimension mismatch");
-    for i in 0..x.len() {
-        out[i] = x[i] * y[i];
-    }
+    simd::mul_into(x, y, out);
 }
 
 /// Scaled copy `out = alpha · x` into a caller-provided buffer.
 ///
 /// Replaces the `x.iter().map(|v| alpha * v).collect()` pattern in
 /// gradient kernels without the per-call allocation.
+#[inline]
 pub fn scale_assign(alpha: f32, x: &[f32], out: &mut [f32]) {
-    assert_eq!(x.len(), out.len(), "scale_assign: dimension mismatch");
-    for i in 0..x.len() {
-        out[i] = alpha * x[i];
-    }
+    simd::scale_assign(alpha, x, out);
 }
 
 /// Element-wise sum `x + y` into a fresh vector.
@@ -513,9 +483,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg(not(feature = "fast-math"))]
     fn dot_unroll_matches_scalar_reference() {
-        // Lengths straddling the 4-lane boundary, awkward magnitudes.
-        for n in 0..13usize {
+        // Lengths straddling the 8-lane boundary, awkward magnitudes.
+        for n in 0..21usize {
             let x: Vec<f32> = (0..n).map(|i| 0.1 + i as f32 * 0.37).collect();
             let y: Vec<f32> = (0..n).map(|i| -1.3 + i as f32 * 0.11).collect();
             let mut reference = 0.0f32;

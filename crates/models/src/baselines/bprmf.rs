@@ -75,6 +75,10 @@ impl Recommender for BprMf {
         "BPR-MF"
     }
 
+    fn fit_epochs(&self) -> usize {
+        self.config.epochs
+    }
+
     fn taxonomy(&self) -> Taxonomy {
         baseline_taxonomy("BPR-MF")
     }

@@ -73,6 +73,10 @@ impl Recommender for Cfkg {
         "CFKG"
     }
 
+    fn fit_epochs(&self) -> usize {
+        self.config.epochs
+    }
+
     fn taxonomy(&self) -> Taxonomy {
         taxonomy_of("CFKG")
     }
@@ -94,6 +98,7 @@ impl Recommender for Cfkg {
                 epochs: self.config.epochs,
                 learning_rate: self.config.learning_rate,
                 seed: self.config.seed.wrapping_add(1),
+                threads: None,
             },
             DivergencePolicy::default(),
         );

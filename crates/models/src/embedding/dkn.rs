@@ -165,6 +165,10 @@ impl Recommender for DknLite {
         "DKN"
     }
 
+    fn fit_epochs(&self) -> usize {
+        self.config.epochs
+    }
+
     fn taxonomy(&self) -> Taxonomy {
         taxonomy_of("DKN")
     }
@@ -200,6 +204,7 @@ impl Recommender for DknLite {
                     epochs: self.config.kge_epochs,
                     learning_rate: 0.05,
                     seed: self.config.seed.wrapping_add(1),
+                    threads: None,
                 },
             );
         }

@@ -128,6 +128,10 @@ impl Recommender for KgeRecommender {
         "KGE-Rec"
     }
 
+    fn fit_epochs(&self) -> usize {
+        self.config.epochs
+    }
+
     fn taxonomy(&self) -> Taxonomy {
         // The formulation is CFKG's; the backend is a hyper-parameter.
         taxonomy_of("CFKG")
@@ -153,6 +157,7 @@ impl Recommender for KgeRecommender {
             epochs: self.config.epochs,
             learning_rate: lr,
             seed: self.config.seed.wrapping_add(1),
+            threads: None,
         };
         // Guarded training needs a concrete `Clone` type for snapshot /
         // rollback, so the trainer runs monomorphically per backend and

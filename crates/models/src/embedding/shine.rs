@@ -18,9 +18,17 @@ use crate::common::{sample_observed, taxonomy_of};
 use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::negative::sample_negative;
 use kgrec_data::{ItemId, UserId};
-use kgrec_linalg::{vector, Activation, Dense};
+use kgrec_linalg::{par, vector, Activation, Dense};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Samples whose gradients share one frozen parameter snapshot.
+const CHUNK: usize = 64;
+/// Samples replayed by one worker-local replica. Fixed — never derived
+/// from the worker count — so the delta merge order is identical at any
+/// thread count.
+const SUB: usize = 32;
 
 /// SHINE-lite hyper-parameters.
 #[derive(Debug, Clone)]
@@ -51,12 +59,16 @@ impl Default for ShineConfig {
 /// sparse `Dense` kernels — bit-identical to the dense 0/1 passes (the
 /// skipped terms are exact multiplications by zero) at a fraction of the
 /// work.
-#[derive(Debug)]
+///
+/// `Clone` is cheap on the input side: worker replicas in the batched fit
+/// clone the weights but share the immutable adjacency rows through the
+/// `Arc`.
+#[derive(Debug, Clone)]
 struct Channel {
     encoder: Dense,
     decoder: Dense,
     /// Ascending non-zero coordinates of each binary input row.
-    inputs: Vec<Vec<usize>>,
+    inputs: Arc<Vec<Vec<usize>>>,
 }
 
 /// Sorts and dedups a sparse binary row (graph neighbor lists may repeat
@@ -77,7 +89,7 @@ impl Channel {
         Self {
             encoder: Dense::new(rng, in_dim, dim, Activation::Tanh),
             decoder: Dense::new(rng, dim, in_dim, Activation::Sigmoid),
-            inputs,
+            inputs: Arc::new(inputs),
         }
     }
 
@@ -126,6 +138,87 @@ impl Channel {
         // Weight decay touches every parameter; the fused kernel applies
         // the sparse gradient and the dense decay in one weight sweep.
         self.encoder.backward_sparse_step_sgd(dh, lr, 1e-5);
+    }
+}
+
+/// Adds `replica − base` into `dst`, parameter by parameter.
+fn merge_dense(dst: &mut Dense, replica: &Dense, base: &Dense) {
+    let d = dst.weights_mut().data_mut();
+    let r = replica.weights().data();
+    let b = base.weights().data();
+    for i in 0..d.len() {
+        d[i] += r[i] - b[i];
+    }
+    let d = dst.bias_mut();
+    let r = replica.bias();
+    let b = base.bias();
+    for i in 0..d.len() {
+        d[i] += r[i] - b[i];
+    }
+}
+
+/// [`merge_dense`] over a channel's encoder and decoder.
+fn merge_channel(dst: &mut Channel, replica: &Channel, base: &Channel) {
+    merge_dense(&mut dst.encoder, &replica.encoder, &base.encoder);
+    merge_dense(&mut dst.decoder, &replica.decoder, &base.decoder);
+}
+
+/// The mutable training state of a fit: all channels together, so worker
+/// replicas can replay samples on a private copy.
+#[derive(Debug, Clone)]
+struct ChannelSet {
+    sentiment_user: Channel,
+    sentiment_item: Channel,
+    social: Option<Channel>,
+    profile: Option<Channel>,
+}
+
+impl ChannelSet {
+    /// Replays one labeled example in place — the per-sample step of the
+    /// original sequential loop, verbatim.
+    fn train_one(&mut self, user: UserId, item: ItemId, label: f32, lr: f32, recon_lr: f32) {
+        // Forward through channels (with reconstruction).
+        let mut hu = self.sentiment_user.train_encode(user.index(), recon_lr);
+        if let Some(social) = self.social.as_mut() {
+            let hs = social.train_encode(user.index(), recon_lr);
+            vector::axpy(1.0, &hs, &mut hu);
+        }
+        let mut hv = self.sentiment_item.train_encode(item.index(), recon_lr);
+        if let Some(profile) = self.profile.as_mut() {
+            let hp = profile.train_encode(item.index(), recon_lr);
+            vector::axpy(1.0, &hp, &mut hv);
+        }
+        let z = vector::dot(&hu, &hv);
+        let dz = vector::sigmoid(z) - label;
+        let dhu: Vec<f32> = hv.iter().map(|x| dz * x).collect();
+        let dhv: Vec<f32> = hu.iter().map(|x| dz * x).collect();
+        self.sentiment_user.apply_hidden_grad(user.index(), &dhu, lr);
+        if let Some(social) = self.social.as_mut() {
+            social.apply_hidden_grad(user.index(), &dhu, lr);
+        }
+        self.sentiment_item.apply_hidden_grad(item.index(), &dhv, lr);
+        if let Some(profile) = self.profile.as_mut() {
+            profile.apply_hidden_grad(item.index(), &dhv, lr);
+        }
+    }
+
+    /// Adds one worker replica's parameter delta (`replica − base`) into
+    /// `self`. Called in sub-batch index order, this is the fixed-order
+    /// reduction that keeps the merged parameters bit-identical at any
+    /// thread count.
+    fn merge_delta(&mut self, replica: &Self, base: &Self) {
+        merge_channel(&mut self.sentiment_user, &replica.sentiment_user, &base.sentiment_user);
+        merge_channel(&mut self.sentiment_item, &replica.sentiment_item, &base.sentiment_item);
+        if let (Some(d), Some(r), Some(b)) =
+            (self.social.as_mut(), replica.social.as_ref(), base.social.as_ref())
+        {
+            merge_channel(d, r, b);
+        }
+        if let (Some(d), Some(r), Some(b)) =
+            (self.profile.as_mut(), replica.profile.as_ref(), base.profile.as_ref())
+        {
+            merge_channel(d, r, b);
+        }
     }
 }
 
@@ -183,6 +276,10 @@ impl Recommender for Shine {
         "SHINE"
     }
 
+    fn fit_epochs(&self) -> usize {
+        self.config.epochs
+    }
+
     fn taxonomy(&self) -> Taxonomy {
         taxonomy_of("SHINE")
     }
@@ -224,63 +321,57 @@ impl Recommender for Shine {
             })
             .collect();
         let dim = self.config.dim;
-        self.sentiment_user = Some(Channel::new(&mut rng, user_rows, n, dim));
-        self.sentiment_item = Some(Channel::new(&mut rng, item_rows, m, dim));
-        self.social = social_rows.map(|rows| Channel::new(&mut rng, rows, m, dim));
-        self.profile = Some(Channel::new(&mut rng, profile_rows, attr_count, dim));
+        // Construction order matters: each Channel consumes the same RNG
+        // stream positions as before the batched rewrite.
+        let mut set = ChannelSet {
+            sentiment_user: Channel::new(&mut rng, user_rows, n, dim),
+            sentiment_item: Channel::new(&mut rng, item_rows, m, dim),
+            social: social_rows.map(|rows| Channel::new(&mut rng, rows, m, dim)),
+            profile: Some(Channel::new(&mut rng, profile_rows, attr_count, dim)),
+        };
 
         let lr = self.config.learning_rate;
         let recon_lr = lr * self.config.recon_weight;
+        let threads = par::resolve_threads(None);
+        // Deterministic batched SGD: samples are pre-drawn per chunk (the
+        // RNG stream is identical to the per-sample loop because training
+        // never touches the RNG), worker replicas replay fixed sub-batches
+        // on private copies of the chunk-start weights, and the parameter
+        // deltas merge in sub-batch index order — bit-identical weights at
+        // any thread count.
+        let mut samples: Vec<(UserId, ItemId, f32)> = Vec::with_capacity(2 * CHUNK);
         for _ in 0..self.config.epochs {
-            for _ in 0..ctx.train.num_interactions() {
-                let Some((u, pos)) = sample_observed(ctx.train, &mut rng) else { break };
-                for (item, label) in
-                    [(Some(pos), 1.0f32), (sample_negative(ctx.train, u, &mut rng), 0.0)]
-                        .into_iter()
-                        .filter_map(|(i, y)| i.map(|i| (i, y)))
-                {
-                    // Forward through channels (with reconstruction).
-                    let mut hu = self
-                        .sentiment_user
-                        .as_mut()
-                        .expect("initialized")
-                        .train_encode(u.index(), recon_lr);
-                    if let Some(social) = self.social.as_mut() {
-                        let hs = social.train_encode(u.index(), recon_lr);
-                        vector::axpy(1.0, &hs, &mut hu);
+            let mut remaining = ctx.train.num_interactions();
+            'epoch: while remaining > 0 {
+                samples.clear();
+                while remaining > 0 && samples.len() < 2 * CHUNK {
+                    let Some((u, pos)) = sample_observed(ctx.train, &mut rng) else {
+                        break 'epoch;
+                    };
+                    samples.push((u, pos, 1.0));
+                    if let Some(neg) = sample_negative(ctx.train, u, &mut rng) {
+                        samples.push((u, neg, 0.0));
                     }
-                    let mut hv = self
-                        .sentiment_item
-                        .as_mut()
-                        .expect("initialized")
-                        .train_encode(item.index(), recon_lr);
-                    if let Some(profile) = self.profile.as_mut() {
-                        let hp = profile.train_encode(item.index(), recon_lr);
-                        vector::axpy(1.0, &hp, &mut hv);
+                    remaining -= 1;
+                }
+                let subs: Vec<&[(UserId, ItemId, f32)]> = samples.chunks(SUB).collect();
+                let base = set.clone();
+                let replicas = par::par_map(&subs, threads, |_, sub| {
+                    let mut replica = base.clone();
+                    for &(u, it, y) in *sub {
+                        replica.train_one(u, it, y, lr, recon_lr);
                     }
-                    let z = vector::dot(&hu, &hv);
-                    let dz = vector::sigmoid(z) - label;
-                    let dhu: Vec<f32> = hv.iter().map(|x| dz * x).collect();
-                    let dhv: Vec<f32> = hu.iter().map(|x| dz * x).collect();
-                    self.sentiment_user.as_mut().expect("initialized").apply_hidden_grad(
-                        u.index(),
-                        &dhu,
-                        lr,
-                    );
-                    if let Some(social) = self.social.as_mut() {
-                        social.apply_hidden_grad(u.index(), &dhu, lr);
-                    }
-                    self.sentiment_item.as_mut().expect("initialized").apply_hidden_grad(
-                        item.index(),
-                        &dhv,
-                        lr,
-                    );
-                    if let Some(profile) = self.profile.as_mut() {
-                        profile.apply_hidden_grad(item.index(), &dhv, lr);
-                    }
+                    replica
+                });
+                for replica in &replicas {
+                    set.merge_delta(replica, &base);
                 }
             }
         }
+        self.sentiment_user = Some(set.sentiment_user);
+        self.sentiment_item = Some(set.sentiment_item);
+        self.social = set.social;
+        self.profile = set.profile;
         Ok(())
     }
 

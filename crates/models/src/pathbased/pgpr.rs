@@ -134,6 +134,7 @@ impl Recommender for PgprLite {
                 epochs: self.config.kge_epochs,
                 learning_rate: 0.05,
                 seed: self.config.seed.wrapping_add(1),
+                threads: None,
             },
         );
         let mut policy = PolicyState {

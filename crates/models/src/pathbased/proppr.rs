@@ -15,7 +15,7 @@ use kgrec_core::{CoreError, Recommender, Taxonomy, TrainContext};
 use kgrec_data::dataset::UserItemGraph;
 use kgrec_data::negative::sample_negative;
 use kgrec_data::{ItemId, UserId};
-use kgrec_linalg::vector;
+use kgrec_linalg::{par, vector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -73,7 +73,16 @@ impl ProPpr {
         (0..self.rule_params.len()).map(|r| self.rule_weight(r)).collect()
     }
 
-    /// Personalized PageRank mass over all entities from one user.
+    /// Personalized PageRank mass over all entities from one user, using
+    /// the model's own rule parameters.
+    fn ppr(&self, uig: &UserItemGraph, user: UserId) -> Vec<f32> {
+        self.ppr_with(uig, user, &self.rule_params)
+    }
+
+    /// [`Self::ppr`] against an explicit parameter vector — the
+    /// finite-difference learner probes perturbed parameters without
+    /// mutating the model, so probes for different relations can run on
+    /// worker threads against a shared frozen `&self`.
     ///
     /// The softplus rule weights and each entity's total out-weight are
     /// invariant across the power iterations, so both are materialised
@@ -81,11 +90,11 @@ impl ProPpr {
     /// per iteration. The per-edge update keeps the original expression
     /// shape (`((1−ρ)·m · w_r) / total`, division last), so every mass
     /// value is bit-identical to the unhoisted loop.
-    fn ppr(&self, uig: &UserItemGraph, user: UserId) -> Vec<f32> {
+    fn ppr_with(&self, uig: &UserItemGraph, user: UserId, params: &[f32]) -> Vec<f32> {
         let g = &uig.graph;
         let n = g.num_entities();
         let src = uig.user_entities[user.index()].index();
-        let w: Vec<f32> = (0..self.rule_params.len()).map(|r| self.rule_weight(r)).collect();
+        let w: Vec<f32> = params.iter().map(|&p| vector::softplus(p)).collect();
         let totals: Vec<f32> = (0..n)
             .map(|e| {
                 g.edge_slice(kgrec_graph::EntityId(e as u32))
@@ -133,6 +142,10 @@ impl Recommender for ProPpr {
         "ProPPR"
     }
 
+    fn fit_epochs(&self) -> usize {
+        self.config.weight_epochs
+    }
+
     fn taxonomy(&self) -> Taxonomy {
         taxonomy_of("ProPPR")
     }
@@ -144,11 +157,17 @@ impl Recommender for ProPpr {
         self.rule_params = vec![0.5; uig.graph.num_relations().max(1)];
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let lr = self.config.learning_rate;
+        let threads = par::resolve_threads(None);
         // Rule-weight learning: finite-difference BPR on the (few)
         // relation weights — the graph-structured objective has no cheap
         // analytic gradient, and ProPPR's own learner is also an
         // approximate gradient on walk parameters. One user PPR per
-        // sampled pair keeps this tractable.
+        // sampled pair keeps this tractable. Per sample, every relation's
+        // probe perturbs the same frozen parameter vector (independent
+        // probes → worker threads), and the updates are applied in
+        // relation index order afterwards — the resulting weights are
+        // identical at any thread count.
+        let rels: Vec<usize> = (0..self.rule_params.len()).collect();
         for _ in 0..self.config.weight_epochs {
             for _ in 0..ctx.train.num_interactions().min(60) {
                 let Some((u, pos)) = sample_observed(ctx.train, &mut rng) else { break };
@@ -161,29 +180,34 @@ impl Recommender for ProPpr {
                 };
                 let g0 = -vector::sigmoid(-(base * 50.0)); // scaled BPR slope
                 let eps = 0.1;
-                for r in 0..self.rule_params.len() {
-                    self.rule_params[r] += eps;
-                    let m = self.ppr(&uig, u);
+                let frozen: &Self = self;
+                let grads = par::par_map(&rels, threads, |_, &r| {
+                    let mut probe = frozen.rule_params.clone();
+                    probe[r] += eps;
+                    let m = frozen.ppr_with(&uig, u, &probe);
                     let plus = m[pe] - m[ne];
-                    self.rule_params[r] -= eps;
-                    let grad = g0 * (plus - base) / eps * 50.0;
+                    g0 * (plus - base) / eps * 50.0
+                });
+                for (r, grad) in grads.into_iter().enumerate() {
                     self.rule_params[r] -= lr * grad;
                 }
             }
         }
-        // Final scores from the learned weights.
-        self.scores = (0..ctx.num_users())
-            .map(|u| {
-                let mass = self.ppr(&uig, UserId(u as u32));
-                let mut out = vec![0.0f32; ctx.num_items()];
-                for (e, &m) in mass.iter().enumerate() {
-                    if let Some(it) = item_map[e] {
-                        out[it.index()] = m;
-                    }
+        // Final scores from the learned weights: one independent PPR per
+        // user, sharded across workers in user index order.
+        let users: Vec<u32> = (0..ctx.num_users() as u32).collect();
+        let frozen: &Self = self;
+        let scores = par::par_map(&users, threads, |_, &u| {
+            let mass = frozen.ppr(&uig, UserId(u));
+            let mut out = vec![0.0f32; ctx.num_items()];
+            for (e, &m) in mass.iter().enumerate() {
+                if let Some(it) = item_map[e] {
+                    out[it.index()] = m;
                 }
-                out
-            })
-            .collect();
+            }
+            out
+        });
+        self.scores = scores;
         Ok(())
     }
 

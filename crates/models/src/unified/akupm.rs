@@ -169,6 +169,10 @@ impl Recommender for AkupmLite {
         "AKUPM"
     }
 
+    fn fit_epochs(&self) -> usize {
+        self.config.epochs
+    }
+
     fn taxonomy(&self) -> Taxonomy {
         taxonomy_of("AKUPM")
     }
@@ -194,6 +198,7 @@ impl Recommender for AkupmLite {
                     epochs: self.config.kge_epochs,
                     learning_rate: 0.03,
                     seed: self.config.seed.wrapping_add(1),
+                    threads: None,
                 },
             );
         }

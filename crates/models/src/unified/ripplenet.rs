@@ -16,9 +16,21 @@ use kgrec_data::negative::sample_negative;
 use kgrec_data::{ItemId, UserId};
 use kgrec_graph::ripple::{ripple_sets, RippleSets};
 use kgrec_graph::EntityId;
-use kgrec_linalg::{vector, EmbeddingTable, Matrix};
+use kgrec_kge::{GradBatch, GradOp};
+use kgrec_linalg::{par, vector, EmbeddingTable, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Grad-batch table id of the entity table.
+const T_ENT: u8 = 0;
+/// Grad-batch table id of the per-relation attention matrices.
+const T_REL: u8 = 1;
+/// Samples whose gradients share one frozen parameter snapshot.
+const CHUNK: usize = 64;
+/// Samples recorded into one worker-local [`GradBatch`]. Fixed — never
+/// derived from the worker count — so the op application order is
+/// identical at any thread count.
+const SUB: usize = 8;
 
 /// RippleNet hyper-parameters.
 #[derive(Debug, Clone)]
@@ -140,21 +152,32 @@ impl RippleNet {
         Forward { probs, queries, responses, user_vec, z }
     }
 
-    /// One BCE SGD step; returns the loss.
+    /// One BCE SGD step; returns the loss. Gradients are evaluated against
+    /// the step-start parameters ([`Self::record_step`]) and applied in
+    /// recorded order.
+    #[cfg(test)]
     fn step(&mut self, user: UserId, item: ItemId, label: f32, lr: f32) -> f32 {
+        let mut gb = GradBatch::new();
+        let loss = self.record_step(user, item, label, &mut gb);
+        self.apply_ripple_grads(&gb, lr);
+        loss
+    }
+
+    /// Backpropagates one BCE example against the *frozen* current
+    /// parameters, recording every update as [`GradOp`]s in the order the
+    /// in-place step applied them; returns the loss. `&self` lets workers
+    /// record fixed sub-batches concurrently.
+    fn record_step(&self, user: UserId, item: ItemId, label: f32, out: &mut GradBatch) -> f32 {
         let fwd = self.forward(user, item);
         let loss = vector::softplus(if label > 0.5 { -fwd.z } else { fwd.z });
         let dz = vector::sigmoid(fwd.z) - label;
         let d = self.config.dim;
         let l2 = self.config.l2;
         let item_ent = self.alignment[item.index()];
-        let v = self.entities.row(item_ent.index()).to_vec();
-        // Borrowing the ripple sets in place is fine: the loop below only
-        // mutates the disjoint `entities`/`relations` fields.
+        let v = self.entities.row(item_ent.index());
         let sets = &self.ripples[user.index()];
         let mut rh = vec![0.0f32; d];
         let mut dh = vec![0.0f32; d];
-        let mut scaled = vec![0.0f32; d];
 
         // dL/dv direct term (z = uᵀv).
         let mut dv: Vec<f32> = fwd.user_vec.iter().map(|u| dz * u).collect();
@@ -172,12 +195,16 @@ impl RippleNet {
             let dout = std::mem::take(&mut do_k[k]);
             let p = &fwd.probs[k];
             let q = &fwd.queries[k];
-            // dL/dp_i = dout · t_i ; accumulate dL/dt_i = p_i · dout.
+            // The hop query feeds every rank-1 relation update of the hop.
+            let seg_q = out.alloc(d);
+            out.seg_mut(seg_q).copy_from_slice(q);
+            // dL/dp_i = dout · t_i ; record dL/dt_i = p_i · dout.
             let mut dl_dp = Vec::with_capacity(hop.len());
             for (i, t) in hop.iter().enumerate() {
                 dl_dp.push(vector::dot(&dout, self.entities.row(t.tail.index())));
-                vector::scale_assign(p[i], &dout, &mut scaled);
-                self.entities.add_to_row(t.tail.index(), -lr, &scaled);
+                let seg = out.alloc(d);
+                vector::scale_assign(p[i], &dout, out.seg_mut(seg));
+                out.push_op(GradOp::AddRow { table: T_ENT, row: t.tail.0, coeff: 1.0, seg });
             }
             let ds = vector::softmax_backward(p, &dl_dp);
             let mut dq = vec![0.0f32; d];
@@ -187,16 +214,18 @@ impl RippleNet {
                 // s_i = qᵀ R h: ∂/∂q = R h; ∂/∂h = Rᵀ q; ∂/∂R = q hᵀ.
                 vector::axpy(ds[i], &rh, &mut dq);
                 rel.matvec_t_into(q, &mut dh);
-                vector::scale_assign(ds[i], &dh, &mut scaled);
-                // The rank-1 update reads the head row before its own SGD
-                // update lands either way, so running it first avoids
-                // materialising a copy of `h`.
-                self.relations[t.rel.index()].rank1_update(
-                    -lr * ds[i],
-                    q,
-                    self.entities.row(t.head.index()),
-                );
-                self.entities.add_to_row(t.head.index(), -lr, &scaled);
+                let seg_h = out.alloc(d);
+                out.seg_mut(seg_h).copy_from_slice(self.entities.row(t.head.index()));
+                out.push_op(GradOp::Rank1 {
+                    table: T_REL,
+                    row: t.rel.0,
+                    coeff: ds[i],
+                    v: seg_q,
+                    u: seg_h,
+                });
+                let seg = out.alloc(d);
+                vector::scale_assign(ds[i], &dh, out.seg_mut(seg));
+                out.push_op(GradOp::AddRow { table: T_ENT, row: t.head.0, coeff: 1.0, seg });
             }
             if k > 0 {
                 // q^k = o^{k-1}.
@@ -209,14 +238,39 @@ impl RippleNet {
         for (g, p) in dv.iter_mut().zip(v.iter()) {
             *g += l2 * p;
         }
-        self.entities.add_to_row(item_ent.index(), -lr, &dv);
+        let seg_dv = out.alloc(d);
+        out.seg_mut(seg_dv).copy_from_slice(&dv);
+        out.push_op(GradOp::AddRow { table: T_ENT, row: item_ent.0, coeff: 1.0, seg: seg_dv });
         loss
+    }
+
+    /// Replays a recorded batch in op order with learning rate `lr`.
+    fn apply_ripple_grads(&mut self, batch: &GradBatch, lr: f32) {
+        for op in batch.ops() {
+            match *op {
+                GradOp::AddRow { row, coeff, seg, .. } => {
+                    self.entities.add_to_row(row as usize, -lr * coeff, batch.seg(seg));
+                }
+                GradOp::Rank1 { row, coeff, v, u, .. } => {
+                    self.relations[row as usize].rank1_update(
+                        -lr * coeff,
+                        batch.seg(v),
+                        batch.seg(u),
+                    );
+                }
+                _ => unreachable!("RippleNet records only AddRow/Rank1 ops"),
+            }
+        }
     }
 }
 
 impl Recommender for RippleNet {
     fn name(&self) -> &'static str {
         "RippleNet"
+    }
+
+    fn fit_epochs(&self) -> usize {
+        self.config.epochs
     }
 
     fn taxonomy(&self) -> Taxonomy {
@@ -268,12 +322,42 @@ impl Recommender for RippleNet {
             })
             .collect();
         let lr = self.config.learning_rate;
+        let threads = par::resolve_threads(None);
+        // Deterministic batched SGD: samples are pre-drawn per chunk (the
+        // RNG stream is identical to the per-sample loop because the steps
+        // never touch the RNG), workers record fixed sub-batches of
+        // gradients against the chunk-start parameters, and the recorded
+        // ops are applied in sub-batch index order — bit-identical
+        // parameters at any thread count.
+        let mut samples: Vec<(UserId, ItemId, f32)> = Vec::with_capacity(2 * CHUNK);
+        let pool: std::sync::Mutex<Vec<GradBatch>> = std::sync::Mutex::new(Vec::new());
         for _ in 0..self.config.epochs {
-            for _ in 0..ctx.train.num_interactions() {
-                let Some((u, pos)) = sample_observed(ctx.train, &mut rng) else { break };
-                self.step(u, pos, 1.0, lr);
-                if let Some(neg) = sample_negative(ctx.train, u, &mut rng) {
-                    self.step(u, neg, 0.0, lr);
+            let mut remaining = ctx.train.num_interactions();
+            'epoch: while remaining > 0 {
+                samples.clear();
+                while remaining > 0 && samples.len() < 2 * CHUNK {
+                    let Some((u, pos)) = sample_observed(ctx.train, &mut rng) else {
+                        break 'epoch;
+                    };
+                    samples.push((u, pos, 1.0));
+                    if let Some(neg) = sample_negative(ctx.train, u, &mut rng) {
+                        samples.push((u, neg, 0.0));
+                    }
+                    remaining -= 1;
+                }
+                let subs: Vec<&[(UserId, ItemId, f32)]> = samples.chunks(SUB).collect();
+                let frozen: &Self = self;
+                let batches = par::par_map(&subs, threads, |_, sub| {
+                    let mut gb = pool.lock().expect("grad pool poisoned").pop().unwrap_or_default();
+                    gb.clear();
+                    for &(u, it, y) in *sub {
+                        frozen.record_step(u, it, y, &mut gb);
+                    }
+                    gb
+                });
+                for gb in batches {
+                    self.apply_ripple_grads(&gb, lr);
+                    pool.lock().expect("grad pool poisoned").push(gb);
                 }
             }
         }

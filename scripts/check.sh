@@ -35,10 +35,14 @@ echo "== benchmark baseline (BENCH_eval.json)"
 ./target/release/eval_suite --quick --bench --threads 4 > /dev/null
 test -s BENCH_eval.json || { echo "FAIL: BENCH_eval.json missing"; exit 1; }
 
-echo "== kernel microbenchmarks (BENCH_kernels.json)"
+echo "== kernel microbenchmarks + regression gate (BENCH_kernels.json vs baseline)"
 # No pipe into `head` here: closing the reader early would SIGPIPE the
-# printing binary and fail the gate under `pipefail`.
-cargo run --release -p kgrec-bench --bin kernel_bench -- --quick > /dev/null
+# printing binary and fail the gate under `pipefail`. The gate fails on
+# any kernel >20% above the committed baseline; refresh the baseline
+# only for intentional kernel changes:
+#   kernel_bench --quick --out BENCH_kernels.baseline.json
+cargo run --release -p kgrec-bench --bin kernel_bench -- --quick \
+  --baseline BENCH_kernels.baseline.json > /dev/null
 test -s BENCH_kernels.json || { echo "FAIL: BENCH_kernels.json missing"; exit 1; }
 
 echo "OK: all checks passed"

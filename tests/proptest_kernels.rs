@@ -5,9 +5,11 @@
 //! matmul/transpose, select-based top-K, sparse `Dense` paths, fused KGE
 //! score kernels, batched trainer) is only safe because every rewrite is
 //! bitwise-identical to the code it replaced — the golden eval transcript
-//! depends on it. Each property here re-implements the predecessor
-//! naively and compares with `to_bits`, so any future "optimization"
-//! that drifts even one ULP fails loudly.
+//! depends on it. Each property here re-implements the reference
+//! semantics naively and compares with `to_bits`, so any future
+//! "optimization" that drifts even one ULP fails loudly. (The trainer's
+//! reference is the frozen-minibatch algorithm of DESIGN.md §10, not the
+//! retired per-pair SGD loop.)
 //!
 //! TransH/TransD fused scores have no public accessors for their normal/
 //! projection tables, so their bit-identity is pinned by the golden
@@ -15,7 +17,7 @@
 
 use kgrec_graph::KgBuilder;
 use kgrec_kge::trainer::{corrupt, train, TrainConfig};
-use kgrec_kge::{DistMult, KgeModel, TransE, TransR};
+use kgrec_kge::{DistMult, GradBatch, KgeModel, TransE, TransR};
 use kgrec_linalg::{vector, Activation, Dense, Matrix};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -272,26 +274,34 @@ proptest! {
     }
 
     #[test]
-    fn batched_trainer_matches_sequential_predecessor(seed in 0u64..40, train_seed in 0u64..40) {
+    fn batched_trainer_matches_frozen_minibatch_reference(seed in 0u64..40, train_seed in 0u64..40) {
+        // 90 entities × 3 ring relations = 270 triples: more than one
+        // 256-pair chunk per epoch, so the chunk-boundary re-freeze and
+        // the 64-pair sub-batch application order are both exercised.
         let mut b = KgBuilder::new();
         let ty = b.entity_type("t");
-        let es: Vec<_> = (0..6).map(|i| b.entity(&format!("e{i}"), ty)).collect();
-        let r0 = b.relation("r0");
-        let r1 = b.relation("r1");
-        for i in 0..5 {
-            b.triple(es[i], if i % 2 == 0 { r0 } else { r1 }, es[i + 1]);
+        let n = 90usize;
+        let es: Vec<_> = (0..n).map(|i| b.entity(&format!("e{i}"), ty)).collect();
+        let rels = [b.relation("r0"), b.relation("r1"), b.relation("r2")];
+        for i in 0..n {
+            for (k, &r) in rels.iter().enumerate() {
+                b.triple(es[i], r, es[(i + k + 1) % n]);
+            }
         }
         let g = b.build(false);
-        let config = TrainConfig { epochs: 3, learning_rate: 0.05, seed: train_seed };
+        let config = TrainConfig { epochs: 3, learning_rate: 0.05, seed: train_seed, threads: None };
 
         let mut rng = StdRng::seed_from_u64(seed);
         let mut batched = TransE::new(&mut rng, g.num_entities(), g.num_relations(), 8, 1.0);
-        let mut sequential = batched.clone();
+        let mut reference = batched.clone();
 
         let curve = train(&mut batched, &g, &config);
 
-        // The pre-batching trainer: shuffle, then corrupt + train one
-        // pair at a time. Must be RNG- and loss-order-identical.
+        // Naive re-implementation of the deterministic batched semantics:
+        // shuffle, corrupt in triple order, then per 256-pair chunk record
+        // every gradient against the *chunk-start* parameters and apply
+        // the 64-pair sub-batches in index order. Must be RNG-, loss- and
+        // parameter-identical at every thread count.
         let mut trng = StdRng::seed_from_u64(config.seed);
         let mut order: Vec<usize> = (0..g.num_triples()).collect();
         let mut ref_curve = Vec::new();
@@ -301,12 +311,24 @@ proptest! {
                 order.swap(i, j);
             }
             let mut total = 0.0f64;
-            for &idx in &order {
-                let pos = g.triples()[idx];
-                let neg = corrupt(&g, pos, &mut trng);
-                total += f64::from(sequential.train_pair(pos, neg, config.learning_rate));
+            for chunk in order.chunks(256) {
+                let pairs: Vec<_> = chunk
+                    .iter()
+                    .map(|&idx| {
+                        let pos = g.triples()[idx];
+                        (pos, corrupt(&g, pos, &mut trng))
+                    })
+                    .collect();
+                let frozen = reference.clone();
+                for sub in pairs.chunks(64) {
+                    let mut gb = GradBatch::new();
+                    for &(pos, neg) in sub {
+                        total += f64::from(frozen.grad_pair(pos, neg, &mut gb));
+                    }
+                    reference.apply_grads(&gb, config.learning_rate);
+                }
             }
-            sequential.post_epoch();
+            reference.post_epoch();
             ref_curve.push((total / order.len().max(1) as f64) as f32);
         }
 
@@ -315,7 +337,7 @@ proptest! {
             let eid = kgrec_graph::EntityId(e as u32);
             prop_assert_eq!(
                 bits(batched.entity_embedding(eid)),
-                bits(sequential.entity_embedding(eid))
+                bits(reference.entity_embedding(eid))
             );
         }
     }

@@ -1,0 +1,202 @@
+//! Property tests for the SIMD kernel layer and the deterministic
+//! parallel trainer.
+//!
+//! Two invariants keep the PR's performance work honest:
+//!
+//! 1. the 8-lane kernels in `kgrec_linalg::simd` are bit-identical to
+//!    their scalar predecessors (the default build keeps a single
+//!    sequential accumulator; only the opt-in `fast-math` feature may
+//!    reassociate), and
+//! 2. the batched KGE trainer produces bit-identical loss curves and
+//!    embeddings at every worker count — sub-batch boundaries and the
+//!    gradient application order depend only on the data, never on the
+//!    thread count.
+//!
+//! Both are load-bearing for the golden eval transcript, which must stay
+//! byte-identical between `--threads 1` and `--threads 4`.
+
+use kgrec_graph::{EntityId, KgBuilder, KnowledgeGraph, RelationId};
+use kgrec_kge::trainer::{train, TrainConfig};
+use kgrec_kge::{DistMult, KgeModel, TransD, TransE, TransH, TransR};
+use kgrec_linalg::simd;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bits(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+fn arb_vec(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-4.0f32..4.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The default dot keeps one sequential accumulator: lane blocking
+    /// must not change a single bit relative to the naive loop.
+    #[test]
+    fn simd_dot_is_bitwise_sequential(
+        (a, b) in (0usize..41).prop_flat_map(|n| (arb_vec(n), arb_vec(n))),
+    ) {
+        let mut reference = 0.0f32;
+        for i in 0..a.len() {
+            reference += a[i] * b[i];
+        }
+        prop_assert_eq!(simd::dot(&a, &b).to_bits(), reference.to_bits());
+    }
+
+    /// Elementwise kernels are trivially lane-parallel; each output
+    /// element must still equal the scalar expression exactly.
+    #[test]
+    fn simd_elementwise_kernels_match_scalar(
+        (a, b) in (0usize..41).prop_flat_map(|n| (arb_vec(n), arb_vec(n))),
+        alpha in -3.0f32..3.0,
+    ) {
+        let n = a.len();
+        let mut out = vec![1.0f32; n];
+        simd::add_into(&a, &b, &mut out);
+        let reference: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        prop_assert_eq!(bits(&out), bits(&reference));
+        simd::sub_into(&a, &b, &mut out);
+        let reference: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x - y).collect();
+        prop_assert_eq!(bits(&out), bits(&reference));
+        simd::mul_into(&a, &b, &mut out);
+        let reference: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x * y).collect();
+        prop_assert_eq!(bits(&out), bits(&reference));
+        simd::scale_assign(alpha, &a, &mut out);
+        let reference: Vec<f32> = a.iter().map(|x| alpha * x).collect();
+        prop_assert_eq!(bits(&out), bits(&reference));
+        let mut acc = b.clone();
+        simd::axpy(alpha, &a, &mut acc);
+        let reference: Vec<f32> = a.iter().zip(&b).map(|(x, y)| y + alpha * x).collect();
+        prop_assert_eq!(bits(&acc), bits(&reference));
+        let mut scaled = a.clone();
+        simd::scale(&mut scaled, alpha);
+        let reference: Vec<f32> = a.iter().map(|x| x * alpha).collect();
+        prop_assert_eq!(bits(&scaled), bits(&reference));
+    }
+}
+
+/// A small two-relation graph with enough structure for a few epochs of
+/// every KGE family.
+fn train_graph(entities: usize) -> KnowledgeGraph {
+    let mut b = KgBuilder::new();
+    let ty = b.entity_type("t");
+    let es: Vec<_> = (0..entities).map(|i| b.entity(&format!("e{i}"), ty)).collect();
+    let r0 = b.relation("r0");
+    let r1 = b.relation("r1");
+    for i in 0..entities {
+        b.triple(es[i], r0, es[(i + 1) % entities]);
+        b.triple(es[i], r1, es[(i + 3) % entities]);
+        if i % 2 == 0 {
+            b.triple(es[i], r0, es[(i + 2) % entities]);
+        }
+    }
+    b.build(false)
+}
+
+/// Snapshots every parameter a model exposes through the `KgeModel`
+/// accessors, as bits.
+fn embedding_bits<M: KgeModel>(m: &M, graph: &KnowledgeGraph) -> Vec<u32> {
+    let mut out = Vec::new();
+    for e in 0..graph.num_entities() {
+        out.extend(bits(m.entity_embedding(EntityId(e as u32))));
+    }
+    for r in 0..graph.num_relations() {
+        out.extend(bits(m.relation_embedding(RelationId(r as u32))));
+    }
+    out
+}
+
+/// Trains one freshly seeded model at the given worker count and returns
+/// (loss-curve bits, embedding bits).
+fn train_at<M, F>(
+    graph: &KnowledgeGraph,
+    build: &F,
+    seed: u64,
+    threads: usize,
+) -> (Vec<u32>, Vec<u32>)
+where
+    M: KgeModel,
+    F: Fn(&mut StdRng) -> M,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = build(&mut rng);
+    let config =
+        TrainConfig { epochs: 4, learning_rate: 0.05, seed: seed ^ 0x5EED, threads: Some(threads) };
+    let curve = train(&mut model, graph, &config);
+    (bits(&curve), embedding_bits(&model, graph))
+}
+
+/// Asserts thread-count invariance for one model family: identical loss
+/// curve and identical final embeddings at 1, 2, 4 and 7 workers.
+fn assert_thread_invariant<M, F>(graph: &KnowledgeGraph, build: F, seed: u64)
+where
+    M: KgeModel,
+    F: Fn(&mut StdRng) -> M,
+{
+    let (serial_curve, serial_emb) = train_at(graph, &build, seed, 1);
+    for threads in [2usize, 4, 7] {
+        let (curve, emb) = train_at(graph, &build, seed, threads);
+        assert_eq!(curve, serial_curve, "loss curve drifted at threads={threads}");
+        assert_eq!(emb, serial_emb, "embeddings drifted at threads={threads}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn transe_training_is_thread_count_invariant(seed in 0u64..500, dim in 4usize..10) {
+        let graph = train_graph(9);
+        assert_thread_invariant(
+            &graph,
+            |rng| TransE::new(rng, graph.num_entities(), graph.num_relations(), dim, 1.0),
+            seed,
+        );
+    }
+
+    #[test]
+    fn transh_training_is_thread_count_invariant(seed in 0u64..500, dim in 4usize..10) {
+        let graph = train_graph(9);
+        assert_thread_invariant(
+            &graph,
+            |rng| TransH::new(rng, graph.num_entities(), graph.num_relations(), dim, 1.0),
+            seed,
+        );
+    }
+
+    #[test]
+    fn transr_training_is_thread_count_invariant(seed in 0u64..500, dim in 4usize..10) {
+        let graph = train_graph(9);
+        assert_thread_invariant(
+            &graph,
+            |rng| {
+                TransR::new(rng, graph.num_entities(), graph.num_relations(), dim, dim / 2, 1.0)
+            },
+            seed,
+        );
+    }
+
+    #[test]
+    fn transd_training_is_thread_count_invariant(seed in 0u64..500, dim in 4usize..10) {
+        let graph = train_graph(9);
+        assert_thread_invariant(
+            &graph,
+            |rng| TransD::new(rng, graph.num_entities(), graph.num_relations(), dim, 1.0),
+            seed,
+        );
+    }
+
+    #[test]
+    fn distmult_training_is_thread_count_invariant(seed in 0u64..500, dim in 4usize..10) {
+        let graph = train_graph(9);
+        assert_thread_invariant(
+            &graph,
+            |rng| DistMult::new(rng, graph.num_entities(), graph.num_relations(), dim),
+            seed,
+        );
+    }
+}
