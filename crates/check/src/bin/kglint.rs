@@ -1,18 +1,29 @@
-//! `kglint` — run the static checks over synthetic scenario bundles.
+//! `kglint` — run the static checks over synthetic scenario bundles or
+//! over the workspace source tree.
 //!
 //! ```text
 //! kglint [--scenario NAME]... [--seed N] [--strict] [--max-hops H] [--no-split]
-//! kglint --src [ROOT] [--strict]
+//!        [--json] [--json-out FILE]
+//! kglint --src [ROOT] [--strict] [--json] [--json-out FILE]
 //! ```
 //!
 //! With no `--scenario` the full synthetic family is checked. `--src`
-//! switches to the source-scanning rules instead (`MD006`: allocating
-//! vector ops inside epoch loops), walking `crates/models/src` and
-//! `crates/kge/src` under `ROOT` (default `.`). Exit code 0 when clean,
-//! 1 when the report fails (errors, or warnings under `--strict`; every
-//! `--src` finding fails under `--strict`), 2 on usage errors.
+//! switches to *detlint*, the token-stream source rules (`SA0xx` +
+//! `MD006` — see `kgrec_check::srclint`), scanning every crate's `src/`
+//! tree under `ROOT` (default `.`).
+//!
+//! Output: human-readable findings by default; `--json` replaces stdout
+//! with a machine-readable document, `--json-out FILE` writes the same
+//! document to `FILE` while keeping the human output (what CI uploads
+//! as an artifact).
+//!
+//! Exit codes, both modes: **0** clean (or only findings that don't
+//! fail the run), **1** the report fails (errors, or any finding under
+//! `--strict`), **2** usage or I/O error.
 
-use kgrec_check::{default_model_hyperparams, CheckBundle, CheckReport};
+use kgrec_check::json::{findings_json, json_str};
+use kgrec_check::srclint::{self, SrcScanReport};
+use kgrec_check::{default_model_hyperparams, CheckBundle, CheckReport, Severity};
 use kgrec_data::negative::labeled_eval_set;
 use kgrec_data::split::ratio_split;
 use kgrec_data::synth::{generate, ScenarioConfig};
@@ -50,37 +61,145 @@ const ALL_SCENARIOS: &[&str] = &[
 fn usage() -> ExitCode {
     eprintln!(
         "usage: kglint [--scenario NAME]... [--seed N] [--strict] [--max-hops H] [--no-split]\n\
-         \x20      kglint --src [ROOT] [--strict]\n\
+         \x20             [--json] [--json-out FILE]\n\
+         \x20      kglint --src [ROOT] [--strict] [--json] [--json-out FILE]\n\
          scenarios: {}",
         ALL_SCENARIOS.join(", ")
     );
     ExitCode::from(2)
 }
 
-/// Runs the source-scanning rules over the hot-path crates under `root`.
-fn run_src_scan(root: &str, strict: bool) -> ExitCode {
-    let mut diags = Vec::new();
-    for rel in ["crates/models/src", "crates/kge/src"] {
-        let dir = std::path::Path::new(root).join(rel);
-        match kgrec_check::srclint::scan_dir(&dir) {
-            Ok(found) => diags.extend(found),
-            Err(e) => {
-                eprintln!("kglint: cannot scan {}: {e}", dir.display());
-                return ExitCode::from(2);
+/// Shared output options.
+struct Output {
+    /// Replace stdout with the JSON document.
+    json: bool,
+    /// Also write the JSON document to this file.
+    json_out: Option<String>,
+}
+
+impl Output {
+    /// Emits the JSON document per the flags; returns false on I/O error.
+    fn emit(&self, doc: &str) -> bool {
+        if self.json {
+            println!("{doc}");
+        }
+        if let Some(path) = &self.json_out {
+            if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+                eprintln!("kglint: cannot write {path}: {e}");
+                return false;
             }
         }
+        true
     }
-    for d in &diags {
-        println!("{d}");
+}
+
+/// Renders the source-scan report as the `--json` document.
+fn src_json(report: &SrcScanReport, strict: bool) -> String {
+    let rules: Vec<String> = srclint::src_rules()
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"code\": {}, \"severity\": {}, \"summary\": {}}}",
+                json_str(r.code()),
+                json_str(r.severity().label()),
+                json_str(r.summary())
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"generator\": \"kglint\",\n  \"mode\": \"src\",\n  \"strict\": {},\n  \
+         \"failed\": {},\n  \"files_scanned\": {},\n  \"suppressed\": {},\n  \
+         \"errors\": {},\n  \"warnings\": {},\n  \"rules\": [\n{}\n  ],\n  \
+         \"findings\": {}\n}}",
+        strict,
+        report.fails(strict),
+        report.files_scanned,
+        report.suppressed,
+        report.count(Severity::Error),
+        report.count(Severity::Warning),
+        rules.join(",\n"),
+        findings_json(&report.findings, 4)
+    )
+}
+
+/// Runs the source rules over the workspace under `root`.
+fn run_src_scan(root: &str, strict: bool, out: &Output) -> ExitCode {
+    let report = match srclint::scan_workspace(std::path::Path::new(root)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("kglint: cannot scan workspace under {root}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !out.emit(&src_json(&report, strict)) {
+        return ExitCode::from(2);
     }
-    if !diags.is_empty() && strict {
-        eprintln!("kglint: FAILED ({} source finding(s) in strict mode)", diags.len());
+    if !out.json {
+        for d in &report.findings {
+            println!("{d}");
+        }
+        println!(
+            "kglint: source scan over {} file(s): {} error(s), {} warning(s), {} suppressed",
+            report.files_scanned,
+            report.count(Severity::Error),
+            report.count(Severity::Warning),
+            report.suppressed
+        );
+    }
+    if report.fails(strict) {
+        eprintln!(
+            "kglint: FAILED ({} source finding(s){})",
+            report.findings.len(),
+            if strict { " in strict mode" } else { "" }
+        );
         return ExitCode::FAILURE;
     }
-    println!("kglint: source scan {} finding(s)", diags.len());
     ExitCode::SUCCESS
 }
 
+/// One checked scenario, for the bundle-mode JSON document.
+struct ScenarioResult {
+    name: String,
+    report: CheckReport,
+    users: usize,
+    items: usize,
+    interactions: usize,
+    entities: usize,
+    triples: usize,
+}
+
+fn bundle_json(results: &[ScenarioResult], strict: bool, failed: bool) -> String {
+    let scenarios: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"scenario\": {}, \"users\": {}, \"items\": {}, \"interactions\": {}, \
+                 \"entities\": {}, \"triples\": {}, \"errors\": {}, \"warnings\": {}, \
+                 \"infos\": {}, \"findings\": {}}}",
+                json_str(&r.name),
+                r.users,
+                r.items,
+                r.interactions,
+                r.entities,
+                r.triples,
+                r.report.count(Severity::Error),
+                r.report.count(Severity::Warning),
+                r.report.count(Severity::Info),
+                findings_json(&r.report.diagnostics, 6)
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"generator\": \"kglint\",\n  \"mode\": \"bundle\",\n  \"strict\": {},\n  \
+         \"failed\": {},\n  \"scenario_count\": {},\n  \"scenarios\": [\n{}\n  ]\n}}",
+        strict,
+        failed,
+        results.len(),
+        scenarios.join(",\n")
+    )
+}
+
+#[allow(clippy::too_many_lines)]
 fn main() -> ExitCode {
     let mut scenarios: Vec<String> = Vec::new();
     let mut seed = 2024u64;
@@ -88,6 +207,7 @@ fn main() -> ExitCode {
     let mut max_hops = 3usize;
     let mut with_split = true;
     let mut src_root: Option<String> = None;
+    let mut out = Output { json: false, json_out: None };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -103,6 +223,17 @@ fn main() -> ExitCode {
                         strict = true;
                         ".".to_owned()
                     }
+                    Some(flag) if flag == "--json" => {
+                        out.json = true;
+                        ".".to_owned()
+                    }
+                    Some(flag) if flag == "--json-out" => match args.next() {
+                        Some(path) => {
+                            out.json_out = Some(path);
+                            ".".to_owned()
+                        }
+                        None => return usage(),
+                    },
                     Some(_) => return usage(),
                     None => ".".to_owned(),
                 });
@@ -116,6 +247,11 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--strict" => strict = true,
+            "--json" => out.json = true,
+            "--json-out" => match args.next() {
+                Some(path) => out.json_out = Some(path),
+                None => return usage(),
+            },
             "--no-split" => with_split = false,
             "--help" | "-h" => {
                 usage();
@@ -125,12 +261,13 @@ fn main() -> ExitCode {
         }
     }
     if let Some(root) = src_root {
-        return run_src_scan(&root, strict);
+        return run_src_scan(&root, strict, &out);
     }
     if scenarios.is_empty() {
         scenarios = ALL_SCENARIOS.iter().map(|s| (*s).to_string()).collect();
     }
 
+    let mut results: Vec<ScenarioResult> = Vec::new();
     let mut failed = false;
     for name in &scenarios {
         let Some(cfg) = scenario_by_name(name) else {
@@ -150,18 +287,32 @@ fn main() -> ExitCode {
             bundle = bundle.with_split(&split).with_eval_pairs(&pairs);
         }
         let report = CheckReport::run(&bundle);
-        println!(
-            "== {name}: {} users, {} items, {} interactions, {} entities, {} triples ==",
-            synth.dataset.interactions.num_users(),
-            synth.dataset.interactions.num_items(),
-            synth.dataset.interactions.num_interactions(),
-            synth.dataset.graph.num_entities(),
-            synth.dataset.graph.num_triples()
-        );
-        print!("{}", report.render());
+        if !out.json {
+            println!(
+                "== {name}: {} users, {} items, {} interactions, {} entities, {} triples ==",
+                synth.dataset.interactions.num_users(),
+                synth.dataset.interactions.num_items(),
+                synth.dataset.interactions.num_interactions(),
+                synth.dataset.graph.num_entities(),
+                synth.dataset.graph.num_triples()
+            );
+            print!("{}", report.render());
+        }
         if report.fails(strict) {
             failed = true;
         }
+        results.push(ScenarioResult {
+            name: name.clone(),
+            users: synth.dataset.interactions.num_users(),
+            items: synth.dataset.interactions.num_items(),
+            interactions: synth.dataset.interactions.num_interactions(),
+            entities: synth.dataset.graph.num_entities(),
+            triples: synth.dataset.graph.num_triples(),
+            report,
+        });
+    }
+    if !out.emit(&bundle_json(&results, strict, failed)) {
+        return ExitCode::from(2);
     }
     if failed {
         eprintln!(
@@ -170,6 +321,8 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
-    println!("kglint: all {} scenario(s) clean", scenarios.len());
+    if !out.json {
+        println!("kglint: all {} scenario(s) clean", scenarios.len());
+    }
     ExitCode::SUCCESS
 }

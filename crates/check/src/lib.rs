@@ -15,9 +15,14 @@
 //! * [`Diagnostic`] — one finding: stable code, [`Severity`], message,
 //!   [`Subject`];
 //! * [`Rule`] — one named check; [`rules::default_rules`] is the standard
-//!   set of thirteen across three layers (KG integrity `KG0xx`,
+//!   set of fourteen across three layers (KG integrity `KG0xx`,
 //!   dataset/split hygiene `DS0xx`, model/metadata consistency `MD0xx` —
 //!   see [`rules`] for the full table);
+//! * [`srclint`] — *detlint*, the token-stream source analysis behind
+//!   `kglint --src`: a hand-rolled lexer, brace-scope context tracking,
+//!   and a registry of determinism/hot-path rules (`SA0xx` plus the
+//!   ported `MD006`) with inline `kglint::allow` suppressions;
+//! * [`json`] — the shared `--json` rendering both rule families emit;
 //! * [`CheckBundle`] — what a pass looks at (only the dataset is
 //!   mandatory);
 //! * [`CheckReport`] — the aggregated result, with a strict mode in
@@ -32,6 +37,7 @@
 
 pub mod bundle;
 pub mod diagnostic;
+pub mod json;
 pub mod report;
 pub mod rules;
 pub mod srclint;
@@ -40,3 +46,4 @@ pub use bundle::{default_model_hyperparams, CheckBundle, FloatAudit, HyperParam}
 pub use diagnostic::{Diagnostic, Severity, Subject};
 pub use report::CheckReport;
 pub use rules::{default_rules, Rule};
+pub use srclint::{scan_workspace, SrcScanReport};

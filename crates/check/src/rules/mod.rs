@@ -16,7 +16,9 @@
 //! | `MD003` | model/meta    | hop/dim/learning-rate hyper-parameters in valid ranges |
 //! | `MD004` | model/meta    | non-finite values in attached float buffers |
 //! | `MD005` | model/meta    | learning-rate hyper-parameters finite and positive |
-//! | `MD006` | source scan   | allocating vector ops inside epoch loops (`kglint --src`, [`crate::srclint`]) |
+//!
+//! The source-scanning rules (`kglint --src`: `SA000`–`SA006` and the
+//! ported `MD006`) live in their own registry — see [`crate::srclint`].
 
 mod data;
 mod kg;

@@ -123,10 +123,10 @@ pub fn ndcg_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
     }
     let ideal_hits = relevant.len().min(k);
     let idcg: f64 = (0..ideal_hits).map(|r| 1.0 / ((r + 2) as f64).log2()).sum();
-    if idcg == 0.0 {
-        0.0
-    } else {
+    if idcg > 0.0 {
         dcg / idcg
+    } else {
+        0.0
     }
 }
 

@@ -13,7 +13,7 @@
 
 use crate::ids::{ItemId, UserId};
 use crate::interactions::InteractionMatrix;
-use kgrec_graph::{EntityId, KgBuilder, KnowledgeGraph, RelationId};
+use kgrec_graph::{id32, EntityId, KgBuilder, KnowledgeGraph, RelationId};
 
 /// Name of the interaction relation in materialized user–item graphs.
 pub const INTERACT_RELATION: &str = "interact";
@@ -119,7 +119,7 @@ impl KgDataset {
     /// Reverse alignment: item for a graph entity, if any.
     pub fn item_of(&self, e: EntityId) -> Option<ItemId> {
         // Linear scan is fine: called only by explanation rendering.
-        self.item_entities.iter().position(|&x| x == e).map(|i| ItemId(i as u32))
+        self.item_entities.iter().position(|&x| x == e).map(|i| ItemId(id32(i)))
     }
 
     /// Builds the user–item graph for a given training matrix: the item KG
@@ -131,14 +131,14 @@ impl KgDataset {
         // Recreate entity types, entities and relations with stable ids by
         // inserting them in id order.
         for t in 0..g.num_entity_types() {
-            b.entity_type(g.type_name(kgrec_graph::EntityTypeId(t as u32)));
+            b.entity_type(g.type_name(kgrec_graph::EntityTypeId(id32(t))));
         }
         for e in 0..g.num_entities() {
-            let e = EntityId(e as u32);
+            let e = EntityId(id32(e));
             b.entity(g.entity_name(e), g.entity_type(e));
         }
         for r in 0..g.num_relations() {
-            b.relation(g.relation_name(RelationId(r as u32)));
+            b.relation(g.relation_name(RelationId(id32(r))));
         }
         for t in g.triples() {
             b.triple(t.head, t.rel, t.tail);
@@ -149,7 +149,7 @@ impl KgDataset {
         let user_entities: Vec<EntityId> =
             (0..train.num_users()).map(|u| b.entity(&format!("user:{u}"), user_ty)).collect();
         for u in 0..train.num_users() {
-            let user = UserId(u as u32);
+            let user = UserId(id32(u));
             let ue = user_entities[u];
             for &item in train.items_of(user) {
                 let ie = self.item_entities[item.index()];

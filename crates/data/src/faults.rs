@@ -22,7 +22,7 @@
 
 use crate::dataset::KgDataset;
 use crate::interactions::{Interaction, InteractionMatrix};
-use kgrec_graph::{EntityId, EntityTypeId, KnowledgeGraph, RelationId, Triple};
+use kgrec_graph::{id32, EntityId, EntityTypeId, KnowledgeGraph, RelationId, Triple};
 
 /// A deterministic dataset corruption.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,10 +100,10 @@ impl std::fmt::Display for Fault {
 pub fn inject(dataset: &mut KgDataset, fault: Fault) {
     match fault {
         Fault::DanglingAlignment => {
-            let n = dataset.graph.num_entities() as u32;
+            let n = id32(dataset.graph.num_entities());
             for (j, e) in dataset.item_entities.iter_mut().enumerate() {
                 if j.is_multiple_of(7) {
-                    *e = EntityId(n + j as u32);
+                    *e = EntityId(n + id32(j));
                 }
             }
         }
@@ -136,7 +136,7 @@ pub fn inject(dataset: &mut KgDataset, fault: Fault) {
             dataset.interactions = rebuild_matrix(&dataset.interactions, &interactions);
         }
         Fault::CorruptTextTokens => {
-            let vocab = dataset.vocab_size as u32;
+            let vocab = id32(dataset.vocab_size);
             if let Some(words) = dataset.item_words.as_mut() {
                 for (j, list) in words.iter_mut().enumerate() {
                     for (k, w) in list.iter_mut().enumerate() {
@@ -199,15 +199,15 @@ fn rebuild_matrix(original: &InteractionMatrix, interactions: &[Interaction]) ->
 /// builder's deduplication ([`KnowledgeGraph::from_parts`] sorts only).
 fn rebuild_with(graph: &KnowledgeGraph, extra: Vec<Triple>) -> KnowledgeGraph {
     let entity_names: Vec<String> = (0..graph.num_entities())
-        .map(|e| graph.entity_name(EntityId(e as u32)).to_owned())
+        .map(|e| graph.entity_name(EntityId(id32(e))).to_owned())
         .collect();
     let entity_types: Vec<EntityTypeId> =
-        (0..graph.num_entities()).map(|e| graph.entity_type(EntityId(e as u32))).collect();
+        (0..graph.num_entities()).map(|e| graph.entity_type(EntityId(id32(e)))).collect();
     let type_names: Vec<String> = (0..graph.num_entity_types())
-        .map(|t| graph.type_name(EntityTypeId(t as u32)).to_owned())
+        .map(|t| graph.type_name(EntityTypeId(id32(t))).to_owned())
         .collect();
     let relation_names: Vec<String> = (0..graph.num_relations())
-        .map(|r| graph.relation_name(RelationId(r as u32)).to_owned())
+        .map(|r| graph.relation_name(RelationId(id32(r))).to_owned())
         .collect();
     let mut triples = graph.triples().to_vec();
     triples.extend(extra);

@@ -7,6 +7,7 @@
 //! propagation, item audiences for ItemKNN and diffusion).
 
 use crate::ids::{ItemId, UserId};
+use kgrec_graph::id32;
 
 /// One observed user–item interaction, optionally carrying an explicit
 /// rating (e.g. the 1–5 stars of MovieLens) and a timestamp for the
@@ -151,7 +152,7 @@ impl InteractionMatrix {
     /// Iterates over all `(user, item, rating)` triples, user-major.
     pub fn iter(&self) -> impl Iterator<Item = (UserId, ItemId, f32)> + '_ {
         (0..self.num_users).flat_map(move |u| {
-            let user = UserId(u as u32);
+            let user = UserId(id32(u));
             self.items_of(user)
                 .iter()
                 .zip(self.ratings_of(user).iter())
@@ -161,7 +162,7 @@ impl InteractionMatrix {
 
     /// Item popularity vector, length `n`.
     pub fn item_popularity(&self) -> Vec<usize> {
-        (0..self.num_items).map(|i| self.item_degree(ItemId(i as u32))).collect()
+        (0..self.num_items).map(|i| self.item_degree(ItemId(id32(i)))).collect()
     }
 }
 

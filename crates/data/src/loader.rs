@@ -10,7 +10,7 @@
 use crate::dataset::KgDataset;
 use crate::ids::{ItemId, UserId};
 use crate::interactions::{Interaction, InteractionMatrix};
-use kgrec_graph::{EntityId, KgBuilder};
+use kgrec_graph::{id32, EntityId, KgBuilder};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -81,11 +81,11 @@ pub fn parse_interactions(text: &str) -> Result<LoadedInteractions, LoadError> {
         }
         let user = *user_index.entry(fields[0].to_owned()).or_insert_with(|| {
             user_keys.push(fields[0].to_owned());
-            UserId(user_keys.len() as u32 - 1)
+            UserId(id32(user_keys.len() - 1))
         });
         let item = *item_index.entry(fields[1].to_owned()).or_insert_with(|| {
             item_keys.push(fields[1].to_owned());
-            ItemId(item_keys.len() as u32 - 1)
+            ItemId(id32(item_keys.len() - 1))
         });
         let rating = if fields.len() == 3 {
             Some(fields[2].parse::<f32>().map_err(|_| LoadError::BadRating {

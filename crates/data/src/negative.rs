@@ -9,6 +9,7 @@
 
 use crate::ids::{ItemId, UserId};
 use crate::interactions::InteractionMatrix;
+use kgrec_graph::id32;
 use rand::Rng;
 
 /// Samples one item not interacted by `user`, uniformly.
@@ -28,7 +29,7 @@ pub fn sample_negative<R: Rng + ?Sized>(
     // fraction of the catalog (always true in recommendation data).
     if deg * 2 < n {
         loop {
-            let cand = ItemId(rng.gen_range(0..n as u32));
+            let cand = ItemId(rng.gen_range(0..id32(n)));
             if !matrix.contains(user, cand) {
                 return Some(cand);
             }
@@ -37,7 +38,7 @@ pub fn sample_negative<R: Rng + ?Sized>(
     // Dense-history fallback: pick uniformly among the complement.
     let k = rng.gen_range(0..n - deg);
     let mut seen = 0usize;
-    for i in 0..n as u32 {
+    for i in 0..id32(n) {
         if !matrix.contains(user, ItemId(i)) {
             if seen == k {
                 return Some(ItemId(i));

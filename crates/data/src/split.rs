@@ -11,6 +11,7 @@
 
 use crate::ids::UserId;
 use crate::interactions::{Interaction, InteractionMatrix};
+use kgrec_graph::id32;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -37,7 +38,7 @@ pub fn ratio_split(matrix: &InteractionMatrix, test_fraction: f64, seed: u64) ->
     let mut train = Vec::new();
     let mut test = Vec::new();
     for u in 0..matrix.num_users() {
-        let user = UserId(u as u32);
+        let user = UserId(id32(u));
         let items = matrix.items_of(user);
         let ratings = matrix.ratings_of(user);
         if items.is_empty() {
@@ -79,7 +80,7 @@ pub fn leave_one_out(matrix: &InteractionMatrix, seed: u64) -> Split {
     let mut train = Vec::new();
     let mut test = Vec::new();
     for u in 0..matrix.num_users() {
-        let user = UserId(u as u32);
+        let user = UserId(id32(u));
         let items = matrix.items_of(user);
         let ratings = matrix.ratings_of(user);
         if items.len() < 2 {

@@ -24,7 +24,7 @@
 use crate::dataset::KgDataset;
 use crate::ids::{ItemId, UserId};
 use crate::interactions::{Interaction, InteractionMatrix};
-use kgrec_graph::{EntityId, KgBuilder};
+use kgrec_graph::{id32, EntityId, KgBuilder};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -291,8 +291,8 @@ pub fn generate(config: &ScenarioConfig, seed: u64) -> SyntheticDataset {
             };
             total -= weights[pick];
             weights[pick] = 0.0;
-            let user = UserId(u as u32);
-            let item = ItemId(pick as u32);
+            let user = UserId(id32(u));
+            let item = ItemId(id32(pick));
             if config.explicit_ratings {
                 let affinity = user_topic_weights[u][item_topics[pick]];
                 let base = 2.5 + 3.0 * affinity + 0.5 * (rng.gen::<f32>() - 0.5);
@@ -344,9 +344,9 @@ pub fn generate(config: &ScenarioConfig, seed: u64) -> SyntheticDataset {
                 (0..words)
                     .map(|_| {
                         if rng.gen_bool(0.6) {
-                            (topic * WORDS_PER_TOPIC + rng.gen_range(0..WORDS_PER_TOPIC)) as u32
+                            id32(topic * WORDS_PER_TOPIC + rng.gen_range(0..WORDS_PER_TOPIC))
                         } else {
-                            (t * WORDS_PER_TOPIC + rng.gen_range(0..SHARED_WORDS)) as u32
+                            id32(t * WORDS_PER_TOPIC + rng.gen_range(0..SHARED_WORDS))
                         }
                     })
                     .collect()
@@ -380,7 +380,7 @@ pub fn generate(config: &ScenarioConfig, seed: u64) -> SyntheticDataset {
                     rng.gen_range(0..config.num_users)
                 };
                 if friend != u {
-                    links.push((UserId(u as u32), UserId(friend as u32)));
+                    links.push((UserId(id32(u)), UserId(id32(friend))));
                 }
             }
         }

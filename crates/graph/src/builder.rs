@@ -6,7 +6,7 @@
 //! adding `r⁻¹` edges, so the builder supports that directly.
 
 use crate::graph::KnowledgeGraph;
-use crate::ids::{EntityId, EntityTypeId, RelationId, Triple};
+use crate::ids::{id32, EntityId, EntityTypeId, RelationId, Triple};
 use std::collections::HashMap;
 
 /// Builder for [`KnowledgeGraph`].
@@ -48,7 +48,7 @@ impl KgBuilder {
         if let Some(&id) = self.type_index.get(name) {
             return id;
         }
-        let id = EntityTypeId(self.type_names.len() as u32);
+        let id = EntityTypeId(id32(self.type_names.len()));
         self.type_names.push(name.to_owned());
         self.type_index.insert(name.to_owned(), id);
         id
@@ -62,7 +62,7 @@ impl KgBuilder {
         if let Some(&id) = self.entity_index.get(name) {
             return id;
         }
-        let id = EntityId(self.entity_names.len() as u32);
+        let id = EntityId(id32(self.entity_names.len()));
         self.entity_names.push(name.to_owned());
         self.entity_types.push(ty);
         self.entity_index.insert(name.to_owned(), id);
@@ -82,7 +82,7 @@ impl KgBuilder {
         if let Some(&id) = self.relation_index.get(name) {
             return id;
         }
-        let id = RelationId(self.relation_names.len() as u32);
+        let id = RelationId(id32(self.relation_names.len()));
         self.relation_names.push(name.to_owned());
         self.relation_index.insert(name.to_owned(), id);
         id
@@ -137,7 +137,7 @@ impl KgBuilder {
             for t in &self.triples {
                 triples.push(Triple::new(
                     t.tail,
-                    RelationId((t.rel.0 as usize + base_relations) as u32),
+                    RelationId(id32(t.rel.0 as usize + base_relations)),
                     t.head,
                 ));
             }

@@ -6,7 +6,7 @@
 //! per-entity neighbor scans contiguous and relation-restricted scans a
 //! binary-search-plus-slice.
 
-use crate::ids::{EntityId, EntityTypeId, RelationId, Triple};
+use crate::ids::{id32, EntityId, EntityTypeId, RelationId, Triple};
 
 /// An immutable heterogeneous knowledge graph.
 ///
@@ -109,23 +109,23 @@ impl KnowledgeGraph {
 
     /// Looks up a relation id by name (linear scan; graphs have few types).
     pub fn relation_by_name(&self, name: &str) -> Option<RelationId> {
-        self.relation_names.iter().position(|n| n == name).map(|i| RelationId(i as u32))
+        self.relation_names.iter().position(|n| n == name).map(|i| RelationId(id32(i)))
     }
 
     /// Looks up an entity type id by name.
     pub fn entity_type_by_name(&self, name: &str) -> Option<EntityTypeId> {
-        self.type_names.iter().position(|n| n == name).map(|i| EntityTypeId(i as u32))
+        self.type_names.iter().position(|n| n == name).map(|i| EntityTypeId(id32(i)))
     }
 
     /// Looks up an entity id by name (linear scan; intended for examples
     /// and tests, not hot paths).
     pub fn entity_by_name(&self, name: &str) -> Option<EntityId> {
-        self.entity_names.iter().position(|n| n == name).map(|i| EntityId(i as u32))
+        self.entity_names.iter().position(|n| n == name).map(|i| EntityId(id32(i)))
     }
 
     /// All entities of a given type, in id order.
     pub fn entities_of_type(&self, ty: EntityTypeId) -> Vec<EntityId> {
-        (0..self.num_entities() as u32)
+        (0..id32(self.num_entities()))
             .map(EntityId)
             .filter(|&e| self.entity_type(e) == ty)
             .collect()

@@ -52,6 +52,19 @@ impl std::fmt::Display for RelationId {
     }
 }
 
+/// Checked narrowing of a `usize` index into the dense `u32` id space.
+///
+/// Every id in the workspace is a `u32`; a raw `as u32` on an index
+/// past 4 billion would silently wrap and alias two different
+/// users/items/entities — the kind of corruption no test notices until
+/// metrics drift. This helper panics on overflow instead. The `SA005`
+/// source rule (`kglint --src`) flags raw narrowing casts in the
+/// id-space crates and demands this.
+#[inline]
+pub fn id32(index: usize) -> u32 {
+    u32::try_from(index).expect("id space exceeds u32")
+}
+
 /// One fact `⟨head, relation, tail⟩` of the knowledge graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Triple {
@@ -85,6 +98,18 @@ mod tests {
     fn display_forms() {
         assert_eq!(EntityId(1).to_string(), "e1");
         assert_eq!(RelationId(4).to_string(), "r4");
+    }
+
+    #[test]
+    fn id32_narrows_in_range_values() {
+        assert_eq!(id32(0), 0);
+        assert_eq!(id32(u32::MAX as usize), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "id space exceeds u32")]
+    fn id32_panics_instead_of_truncating() {
+        let _ = id32(u32::MAX as usize + 1);
     }
 
     #[test]

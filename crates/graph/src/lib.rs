@@ -36,5 +36,5 @@ pub mod sample;
 
 pub use builder::KgBuilder;
 pub use graph::KnowledgeGraph;
-pub use ids::{EntityId, EntityTypeId, RelationId, Triple};
+pub use ids::{id32, EntityId, EntityTypeId, RelationId, Triple};
 pub use metapath::{MetaGraph, MetaPath};

@@ -7,7 +7,7 @@
 //! (HeteRec).
 
 use crate::graph::KnowledgeGraph;
-use crate::ids::EntityId;
+use crate::ids::{id32, EntityId};
 use crate::metapath::MetaPath;
 
 /// A sparse, row-indexed similarity matrix over a fixed entity list.
@@ -44,9 +44,7 @@ impl SimilarityMatrix {
 
     /// Similarity between positions `i` and `j` (0.0 when absent).
     pub fn get(&self, i: usize, j: usize) -> f32 {
-        self.rows[i]
-            .binary_search_by_key(&(j as u32), |&(c, _)| c)
-            .map_or(0.0, |k| self.rows[i][k].1)
+        self.rows[i].binary_search_by_key(&id32(j), |&(c, _)| c).map_or(0.0, |k| self.rows[i][k].1)
     }
 
     /// Total number of stored nonzeros.
@@ -83,7 +81,7 @@ pub fn pathsim_matrix(
     // Position lookup: global entity id -> position in `entities`.
     let mut pos = vec![u32::MAX; graph.num_entities()];
     for (i, e) in entities.iter().enumerate() {
-        pos[e.index()] = i as u32;
+        pos[e.index()] = id32(i);
     }
     // Walk counts from every listed entity.
     let counts: Vec<Vec<(EntityId, f64)>> =

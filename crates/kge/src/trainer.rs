@@ -169,7 +169,11 @@ where
                 let subs: Vec<&[(Triple, Triple)]> = pairs.chunks(GRAD_SUB).collect();
                 let frozen: &M = model;
                 let batches = par::par_map(&subs, threads, |_, sub| {
-                    let mut gb = pool.lock().expect("grad pool poisoned").pop().unwrap_or_default();
+                    let mut gb = pool
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .pop()
+                        .unwrap_or_default();
                     gb.clear();
                     for &(pos, neg) in *sub {
                         let loss = frozen.grad_pair(pos, neg, &mut gb);
@@ -182,7 +186,8 @@ where
                     for &loss in gb.losses() {
                         total += f64::from(loss);
                     }
-                    pool.lock().expect("grad pool poisoned").push(gb);
+                    // kglint::allow(SA003, free-list pool; grads already applied in input order)
+                    pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(gb);
                 }
             }
         } else {

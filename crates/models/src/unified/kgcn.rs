@@ -555,19 +555,17 @@ impl Recommender for Kgcn {
                 AggParams { w1, b1: vec![0.0; d], w2, b2: vec![0.0; d] }
             })
             .collect();
-        self.stored_graph = Some(graph);
         let lr = self.config.learning_rate;
         for _ in 0..self.config.epochs {
             for _ in 0..ctx.train.num_interactions() {
                 let Some((u, pos)) = sample_observed(ctx.train, &mut rng) else { break };
-                let g = self.stored_graph.take().expect("graph stored");
-                self.step(&g, u, pos, 1.0, lr);
+                self.step(&graph, u, pos, 1.0, lr);
                 if let Some(neg) = sample_negative(ctx.train, u, &mut rng) {
-                    self.step(&g, u, neg, 0.0, lr);
+                    self.step(&graph, u, neg, 0.0, lr);
                 }
-                self.stored_graph = Some(g);
             }
         }
+        self.stored_graph = Some(graph);
         Ok(())
     }
 

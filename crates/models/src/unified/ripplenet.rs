@@ -348,7 +348,11 @@ impl Recommender for RippleNet {
                 let subs: Vec<&[(UserId, ItemId, f32)]> = samples.chunks(SUB).collect();
                 let frozen: &Self = self;
                 let batches = par::par_map(&subs, threads, |_, sub| {
-                    let mut gb = pool.lock().expect("grad pool poisoned").pop().unwrap_or_default();
+                    let mut gb = pool
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .pop()
+                        .unwrap_or_default();
                     gb.clear();
                     for &(u, it, y) in *sub {
                         frozen.record_step(u, it, y, &mut gb);
@@ -357,7 +361,8 @@ impl Recommender for RippleNet {
                 });
                 for gb in batches {
                     self.apply_ripple_grads(&gb, lr);
-                    pool.lock().expect("grad pool poisoned").push(gb);
+                    // kglint::allow(SA003, free-list pool; grads already applied in input order)
+                    pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(gb);
                 }
             }
         }

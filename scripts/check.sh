@@ -14,10 +14,12 @@ echo "== cargo test"
 cargo test --workspace -q
 
 echo "== kglint --strict (all synthetic scenarios)"
-cargo run --release -p kgrec-check --bin kglint -- --strict
+cargo run --release -p kgrec-check --bin kglint -- --strict --json-out kglint_bundle.json
+test -s kglint_bundle.json || { echo "FAIL: kglint_bundle.json missing"; exit 1; }
 
-echo "== kglint --src (MD006: no allocating vector ops in epoch loops)"
-cargo run --release -p kgrec-check --bin kglint -- --src --strict
+echo "== kglint --src --strict (detlint source rules, whole workspace)"
+cargo run --release -p kgrec-check --bin kglint -- --src --strict --json-out kglint_src.json
+test -s kglint_src.json || { echo "FAIL: kglint_src.json missing"; exit 1; }
 
 echo "== eval_suite fault drill (graceful degradation smoke)"
 cargo run --release -p kgrec-bench --bin eval_suite -- --quick --inject-fault \
