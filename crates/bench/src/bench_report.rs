@@ -211,6 +211,7 @@ mod tests {
                 attempts: 1,
                 elapsed: Duration::from_millis(10),
                 reason: None,
+                overshoot: None,
             },
             row: None,
             timings: PhaseTimings {

@@ -18,7 +18,8 @@
 //!
 //! Usage:
 //! `cargo run --release -p kgrec-bench --bin eval_suite -- [--quick]
-//! [--threads N] [--bench] [--no-timing] [--inject-fault[=<label>]]`
+//! [--threads N] [--bench] [--no-timing] [--checkpoint-dir DIR]
+//! [--inject-fault[=<label>]]`
 //!
 //! * `--threads N` — worker count (default: `KGREC_THREADS`, then
 //!   `available_parallelism`);
@@ -28,24 +29,37 @@
 //! * `--no-timing` — print `-` in wall-clock columns so stdout is
 //!   byte-identical across runs, machines and thread counts (used by the
 //!   golden regression test and the CI 1-vs-4-thread diff);
+//! * `--checkpoint-dir DIR` — load-or-train warm starts: every model
+//!   checkpoints into `DIR/<scenario>/<model>`, and a rerun against the
+//!   same directory restores checkpointed models instead of retraining
+//!   them (`attempts 0`, `warm start` in the outcome table);
 //! * `--inject-fault` — the graceful-degradation drill: appends the
 //!   deliberately broken models of [`kgrec_bench::doubles`] to the roster
-//!   and, when a label is given (e.g. `--inject-fault=nan-ratings`, see
-//!   [`kgrec_data::Fault`]), also corrupts every scenario bundle with
-//!   that dataset fault before splitting. The suite must still finish
-//!   all scenarios and report the casualties in the outcome summary.
+//!   and, when a label is given, either corrupts every scenario bundle
+//!   with that dataset fault before splitting (e.g.
+//!   `--inject-fault=nan-ratings`, see [`kgrec_data::Fault`]) or — when
+//!   the label names a storage fault (e.g.
+//!   `--inject-fault=torn-write`, see [`kgrec_store::StorageFault`]) —
+//!   first runs the end-to-end checkpoint-recovery drill: train,
+//!   checkpoint, corrupt the store that way, restart, and require the
+//!   recovery to fall back to the previous good generation (or fresh
+//!   training) without a panic. The suite must still finish all
+//!   scenarios and report the casualties in the outcome summary.
 
 use kgrec_bench::bench_report::{BenchReport, BENCH_PATH};
 use kgrec_bench::doubles::{NanBot, PanicBot, RecoverBot};
+use kgrec_bench::storage_drill::run_storage_drill;
 use kgrec_bench::{
-    evaluate_roster_supervised, outcome_counts, par, preflight_check, preflight_report,
-    print_eval_table_with, print_outcome_summary_with, standard_split, threads_from_args, EvalRow,
-    ModelReport,
+    checkpoint_dir_from_args, evaluate_roster_supervised_checkpointed, outcome_counts, par,
+    preflight_check, preflight_report, print_eval_table_with, print_outcome_summary_with,
+    standard_split, threads_from_args, EvalRow, ModelReport,
 };
 use kgrec_core::{Recommender, SupervisorConfig};
 use kgrec_data::synth::{generate, ScenarioConfig};
 use kgrec_data::Fault;
 use kgrec_models::registry::all_models;
+use kgrec_store::StorageFault;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Everything one suite pass needs to know.
@@ -55,6 +69,8 @@ struct SuiteConfig {
     inject: bool,
     fault: Option<Fault>,
     show_timing: bool,
+    /// Per-scenario checkpoint stores live under this root when set.
+    checkpoint_root: Option<PathBuf>,
     /// Quiet passes (the `--bench` serial baseline) skip stdout entirely.
     print: bool,
 }
@@ -103,8 +119,16 @@ fn run_suite(cfg: &SuiteConfig) -> (Vec<(String, Vec<ModelReport>)>, f64) {
             roster.push(Box::new(NanBot::default()));
             roster.push(Box::new(RecoverBot::new(1)));
         }
-        let reports =
-            evaluate_roster_supervised(roster, &synth, &split, 11, &supervisor, cfg.threads);
+        let scenario_root = cfg.checkpoint_root.as_ref().map(|r| r.join(&scenario.name));
+        let reports = evaluate_roster_supervised_checkpointed(
+            roster,
+            &synth,
+            &split,
+            11,
+            &supervisor,
+            cfg.threads,
+            scenario_root.as_deref(),
+        );
         if cfg.print {
             // Progress lines print after the pool drains, in roster order,
             // so stdout is identical at every thread count.
@@ -134,23 +158,45 @@ fn main() {
     let show_timing = !args.iter().any(|a| a == "--no-timing");
     let threads = par::resolve_threads(threads_from_args(&args));
     let inject = args.iter().any(|a| a == "--inject-fault" || a.starts_with("--inject-fault="));
-    let fault: Option<Fault> = args.iter().find_map(|a| {
-        a.strip_prefix("--inject-fault=").map(|label| match Fault::from_label(label) {
-            Some(f) => f,
-            None => {
-                let known: Vec<&str> = Fault::all().iter().map(Fault::label).collect();
-                panic!("unknown fault label {label:?}; known labels: {}", known.join(", "));
-            }
-        })
-    });
+    let checkpoint_root = checkpoint_dir_from_args(&args);
+    let mut fault: Option<Fault> = None;
+    let mut storage_fault: Option<StorageFault> = None;
+    if let Some(label) = args.iter().find_map(|a| a.strip_prefix("--inject-fault=")) {
+        if let Some(f) = StorageFault::from_label(label) {
+            storage_fault = Some(f);
+        } else if let Some(f) = Fault::from_label(label) {
+            fault = Some(f);
+        } else {
+            let mut known: Vec<&str> = Fault::all().iter().map(Fault::label).collect();
+            known.extend(StorageFault::all().iter().map(|f| f.label()));
+            panic!("unknown fault label {label:?}; known labels: {}", known.join(", "));
+        }
+    }
     if inject {
         // The drill provokes panics on purpose; keep the default hook's
         // backtrace spam out of the report.
         std::panic::set_hook(Box::new(|_| {}));
-        match fault {
-            Some(f) => println!("fault drill: broken models + dataset fault `{f}`"),
-            None => println!("fault drill: broken models on an otherwise clean bundle"),
+        match (fault, storage_fault) {
+            (Some(f), _) => println!("fault drill: broken models + dataset fault `{f}`"),
+            (None, Some(f)) => println!("fault drill: broken models + storage fault `{f}`"),
+            (None, None) => println!("fault drill: broken models on an otherwise clean bundle"),
         }
+    }
+    if let Some(f) = storage_fault {
+        // End-to-end checkpoint recovery: train → checkpoint → corrupt →
+        // restart → require graceful recovery before the suite proper.
+        let drill_dir = checkpoint_root
+            .clone()
+            .unwrap_or_else(std::env::temp_dir)
+            .join("storage-drill")
+            .join(f.label());
+        println!("\n== Storage-fault drill ==");
+        let outcome = run_storage_drill(f, &drill_dir);
+        println!("{}", outcome.describe());
+        assert!(
+            outcome.passed(),
+            "storage-fault drill `{f}` must recover gracefully without a panic"
+        );
     }
     let scenarios: Vec<(ScenarioConfig, bool)> = if quick {
         vec![
@@ -169,7 +215,15 @@ fn main() {
     // Thread count goes to stderr: stdout must stay byte-identical
     // across `--threads` values for the equivalence checks.
     eprintln!("eval_suite: {threads} worker thread(s)");
-    let cfg = SuiteConfig { scenarios, threads, inject, fault, show_timing, print: true };
+    let cfg = SuiteConfig {
+        scenarios,
+        threads,
+        inject,
+        fault,
+        show_timing,
+        checkpoint_root,
+        print: true,
+    };
     let (runs, wall_secs) = run_suite(&cfg);
 
     let mut totals = [0usize; 4];
@@ -209,7 +263,9 @@ fn main() {
         let mut report = BenchReport::new(&runs, threads, wall_secs);
         if threads > 1 {
             eprintln!("eval_suite --bench: running single-threaded comparison pass");
-            let serial_cfg = SuiteConfig { threads: 1, print: false, ..cfg };
+            // The serial baseline must retrain for real — warm starts from
+            // the first pass's checkpoints would fake the speedup.
+            let serial_cfg = SuiteConfig { threads: 1, print: false, checkpoint_root: None, ..cfg };
             let (_, serial_wall) = run_suite(&serial_cfg);
             report = report.with_serial_baseline(serial_wall);
         } else {

@@ -27,6 +27,7 @@
 pub mod bench_report;
 pub mod doubles;
 pub mod kernel_report;
+pub mod storage_drill;
 
 pub use kgrec_linalg::par;
 
@@ -34,8 +35,8 @@ use kgrec_check::rules::RegistryConsistency;
 use kgrec_check::{default_model_hyperparams, CheckBundle, CheckReport};
 use kgrec_core::protocol::{evaluate_ctr_par, evaluate_topk_par};
 use kgrec_core::{
-    panic_message, supervise_fit, FitOutcome, FitStatus, Recommender, SupervisorConfig,
-    TrainContext,
+    panic_message, supervise_fit_checkpointed, FitOutcome, FitStatus, Recommender,
+    SupervisorConfig, TrainContext,
 };
 use kgrec_data::negative::labeled_eval_set;
 use kgrec_data::split::{ratio_split, Split};
@@ -69,6 +70,28 @@ pub fn threads_from_args(args: &[String]) -> Option<usize> {
             Ok(n) if n > 0 => return Some(n),
             _ => panic!("invalid --threads value {raw:?} (want a positive integer)"),
         }
+    }
+    None
+}
+
+/// Parses a `--checkpoint-dir DIR` / `--checkpoint-dir=DIR` flag from a
+/// raw argument list. Returns `None` when absent (checkpointing off).
+///
+/// # Panics
+/// Panics when the flag is present without a value.
+pub fn checkpoint_dir_from_args(args: &[String]) -> Option<std::path::PathBuf> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let raw = if a == "--checkpoint-dir" {
+            it.next().cloned()
+        } else if let Some(v) = a.strip_prefix("--checkpoint-dir=") {
+            Some(v.to_owned())
+        } else {
+            continue;
+        };
+        let raw =
+            raw.unwrap_or_else(|| panic!("--checkpoint-dir needs a value (a directory path)"));
+        return Some(std::path::PathBuf::from(raw));
     }
     None
 }
@@ -162,9 +185,18 @@ pub struct ModelReport {
     pub timings: PhaseTimings,
 }
 
-/// Trains `model` under [`supervise_fit`] and, when the outcome is
-/// usable, evaluates it under both protocols on up to `threads` pool
-/// workers (1 = serial; metrics are bit-identical either way).
+/// Directory-safe slug of a model name (`BPR-MF` → `bpr-mf`): checkpoint
+/// stores are keyed by it under the run's `--checkpoint-dir` root.
+pub fn model_slug(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .collect()
+}
+
+/// Trains `model` under [`kgrec_core::supervise_fit`] and, when the
+/// outcome is usable, evaluates it under both protocols on up to
+/// `threads` pool workers (1 = serial; metrics are bit-identical either
+/// way).
 ///
 /// Unlike [`evaluate_model`] this never panics and never silently drops
 /// a model: panics, divergence, non-finite scores and budget overruns
@@ -180,11 +212,37 @@ pub fn evaluate_model_supervised(
     config: &SupervisorConfig,
     threads: usize,
 ) -> ModelReport {
+    evaluate_model_supervised_checkpointed(model, synth, split, seed, config, threads, None)
+}
+
+/// [`evaluate_model_supervised`] with crash-safe persistence: when
+/// `checkpoint_root` is given, the model gets a per-model checkpoint
+/// store under `<root>/<model-slug>` — a usable previous generation
+/// becomes a warm start (load-or-train), a fresh fit is saved back, and
+/// models that checkpoint during `fit`
+/// ([`Recommender::set_checkpoint_dir`]) additionally resume epoch-level
+/// from `<root>/<model-slug>/epochs`. With `None` this is exactly
+/// [`evaluate_model_supervised`].
+pub fn evaluate_model_supervised_checkpointed(
+    model: &mut dyn Recommender,
+    synth: &SyntheticDataset,
+    split: &Split,
+    seed: u64,
+    config: &SupervisorConfig,
+    threads: usize,
+    checkpoint_root: Option<&std::path::Path>,
+) -> ModelReport {
     let name = model.name();
     let family = family_of(model);
     let fit_epochs = model.fit_epochs();
     let fit_rows = fit_epochs * split.train.num_interactions();
-    let mut outcome = supervise_fit(model, &synth.dataset, &split.train, config);
+    let store = checkpoint_root.and_then(|root| {
+        let dir = root.join(model_slug(name));
+        model.set_checkpoint_dir(&dir.join("epochs"));
+        kgrec_store::CheckpointStore::open(&dir).ok()
+    });
+    let mut outcome =
+        supervise_fit_checkpointed(model, &synth.dataset, &split.train, config, store.as_ref());
     let mut timings = PhaseTimings {
         fit_secs: outcome.elapsed.as_secs_f64(),
         fit_rows,
@@ -268,6 +326,22 @@ pub fn evaluate_roster_supervised(
     config: &SupervisorConfig,
     threads: usize,
 ) -> Vec<ModelReport> {
+    evaluate_roster_supervised_checkpointed(roster, synth, split, seed, config, threads, None)
+}
+
+/// [`evaluate_roster_supervised`] with crash-safe persistence: each model
+/// checkpoints into `<checkpoint_root>/<model-slug>` (see
+/// [`evaluate_model_supervised_checkpointed`]). With `None` this is
+/// exactly [`evaluate_roster_supervised`].
+pub fn evaluate_roster_supervised_checkpointed(
+    roster: Vec<Box<dyn Recommender>>,
+    synth: &SyntheticDataset,
+    split: &Split,
+    seed: u64,
+    config: &SupervisorConfig,
+    threads: usize,
+    checkpoint_root: Option<&std::path::Path>,
+) -> Vec<ModelReport> {
     let meta: Vec<(&'static str, String)> =
         roster.iter().map(|m| (m.name(), family_of(m.as_ref()))).collect();
     // Mutex-per-model hands each worker exclusive `&mut` access without
@@ -276,7 +350,15 @@ pub fn evaluate_roster_supervised(
     let inner_threads = if threads > 1 { 1 } else { threads.max(1) };
     let results = par::par_map_catch(&slots, threads, |_, slot| {
         let mut model = slot.lock().expect("model slot poisoned");
-        evaluate_model_supervised(model.as_mut(), synth, split, seed, config, inner_threads)
+        evaluate_model_supervised_checkpointed(
+            model.as_mut(),
+            synth,
+            split,
+            seed,
+            config,
+            inner_threads,
+            checkpoint_root,
+        )
     });
     results
         .into_iter()
@@ -293,6 +375,7 @@ pub fn evaluate_roster_supervised(
                     attempts: 0,
                     elapsed: Duration::ZERO,
                     reason: Some(format!("worker shard panicked: {message}")),
+                    overshoot: None,
                 },
                 row: None,
                 timings: PhaseTimings::default(),

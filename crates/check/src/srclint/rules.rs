@@ -9,6 +9,7 @@
 //! | `SA004` | warning | core, bench | float `==`/`!=` against a float literal in metrics code |
 //! | `SA005` | warning | data, graph | truncating `as u32`/`u16`/`u8` casts on id spaces |
 //! | `SA006` | warning | models, kge | `unwrap`/`expect` inside `supervise_fit`-covered fit paths |
+//! | `SA007` | error | store, kge, models, core | direct `File::create`/`fs::write` in persistence paths — use the atomic writer |
 //! | `MD006` | warning | models, kge | allocating vector ops inside epoch loops (lexer-accurate port) |
 //!
 //! `SA000` (unused or malformed `kglint::allow`) is emitted by the
@@ -58,6 +59,7 @@ pub fn src_rules() -> Vec<Box<dyn SrcRule>> {
         Box::new(FloatEquality),
         Box::new(TruncatingIdCast),
         Box::new(FitPathUnwrap),
+        Box::new(RawPersistenceWrite),
         Box::new(EpochAllocation),
     ]
 }
@@ -434,6 +436,63 @@ impl SrcRule for FitPathUnwrap {
                         ),
                     ));
                 }
+            }
+        }
+        out
+    }
+}
+
+/// `SA007` — raw file writes in model/persistence paths.
+///
+/// A crash between `File::create` and the final `write_all` leaves a torn
+/// file exactly where a reader expects a snapshot — the failure mode the
+/// recovery matrix proves the store survives, but only because every
+/// persistence path goes through `kgrec_store::atomic::write_atomic`
+/// (temp file + fsync + rename + parent fsync). The atomic writer itself
+/// and the fault injector (which plants torn files on purpose) carry
+/// `kglint::allow(SA007, …)` with their reasons.
+pub struct RawPersistenceWrite;
+
+impl SrcRule for RawPersistenceWrite {
+    fn code(&self) -> &'static str {
+        "SA007"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn summary(&self) -> &'static str {
+        "direct File::create/fs::write in a persistence path — a crash mid-write leaves a \
+         torn file; use kgrec_store::atomic::write_atomic"
+    }
+    fn scopes(&self) -> &'static [&'static str] {
+        &["crates/store/", "crates/kge/", "crates/models/", "crates/core/"]
+    }
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let toks = &file.tokens;
+        let mut out = Vec::new();
+        for (i, tok) in toks.iter().enumerate() {
+            if file.cx.in_test[i] || tok.kind != TokKind::Ident {
+                continue;
+            }
+            let creates = tok.text == "File"
+                && punct_is(toks, i + 1, "::")
+                && ident_is(toks, i + 2, "create");
+            let writes = tok.text == "fs"
+                && punct_is(toks, i + 1, "::")
+                && ident_is(toks, i + 2, "write")
+                && punct_is(toks, i + 3, "(");
+            if creates || writes {
+                let call = if creates { "File::create" } else { "fs::write" };
+                out.push(diag(
+                    self,
+                    file,
+                    tok.line,
+                    format!(
+                        "`{call}` in a persistence path — a crash mid-write leaves a torn \
+                         file where a reader expects a snapshot; use \
+                         `kgrec_store::atomic::write_atomic` (temp + fsync + rename)",
+                    ),
+                ));
             }
         }
         out

@@ -166,6 +166,51 @@ fn sa006_covers_closures_inside_fit() {
     assert_eq!(located(&diags), [("SA006", 3)], "{diags:?}");
 }
 
+// ---------------------------------------------------------------- SA007
+
+#[test]
+fn sa007_raw_writes_in_persistence_paths() {
+    let src = "fn save(&self, path: &Path) -> io::Result<()> {\n\
+               let mut f = std::fs::File::create(path)?;\n\
+               f.write_all(&self.bytes)?;\n\
+               fs::write(path.with_extension(\"meta\"), b\"v1\")?;\n\
+               Ok(())\n\
+               }\n";
+    let diags = scan_source("crates/store/src/fixture.rs", src);
+    assert_eq!(located(&diags), [("SA007", 2), ("SA007", 4)], "{diags:?}");
+    assert!(diags.iter().all(|d| d.severity == Severity::Error));
+    assert!(diags[0].message.contains("write_atomic"), "{}", diags[0].message);
+}
+
+#[test]
+fn sa007_covers_every_persistence_crate() {
+    let src = "fn persist(p: &Path) { let _ = fs::write(p, b\"x\"); }\n";
+    for path in [
+        "crates/store/src/fixture.rs",
+        "crates/kge/src/fixture.rs",
+        "crates/models/src/fixture.rs",
+        "crates/core/src/fixture.rs",
+    ] {
+        let diags = scan_source(path, src);
+        assert_eq!(located(&diags), [("SA007", 1)], "{path}: {diags:?}");
+    }
+}
+
+#[test]
+fn sa007_is_silent_outside_persistence_paths_and_for_reads() {
+    // The bench/check layers write reports, not model state.
+    let src = "fn save(p: &Path) { let _ = std::fs::File::create(p); }\n";
+    assert!(scan_source("crates/bench/src/fixture.rs", src).is_empty());
+    assert!(scan_source("crates/check/src/fixture.rs", src).is_empty());
+    // Reads and the atomic writer's own name never fire.
+    let reads = "fn load(p: &Path) -> io::Result<Vec<u8>> {\n\
+                 let f = File::open(p)?;\n\
+                 write_atomic(p, &bytes)?;\n\
+                 fs::read(p)\n\
+                 }\n";
+    assert!(scan_source("crates/store/src/fixture.rs", reads).is_empty());
+}
+
 // ---------------------------------------------------------------- MD006
 
 #[test]

@@ -38,5 +38,8 @@ pub mod taxonomy;
 pub use error::CoreError;
 pub use explain::{Explainer, Explanation};
 pub use recommender::{Recommender, TrainContext};
-pub use supervisor::{panic_message, supervise_fit, FitOutcome, FitStatus, SupervisorConfig};
+pub use supervisor::{
+    panic_message, supervise_fit, supervise_fit_checkpointed, FitOutcome, FitStatus,
+    SupervisorConfig,
+};
 pub use taxonomy::{Taxonomy, Technique, UsageType};

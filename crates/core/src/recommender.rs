@@ -115,6 +115,28 @@ pub trait Recommender: Send + Sync {
     /// Number of items the fitted model can score (`n`).
     fn num_items(&self) -> usize;
 
+    /// The model's persistence handle, when it supports versioned
+    /// save/load (see `kgrec_store::Persistable`). The supervisor's
+    /// checkpointed path uses this for warm starts and post-fit saves;
+    /// the default `None` opts a model out of checkpointing entirely.
+    fn persistable(&self) -> Option<&dyn kgrec_store::Persistable> {
+        None
+    }
+
+    /// Mutable counterpart of [`Self::persistable`] (checkpoint restore).
+    fn persistable_mut(&mut self) -> Option<&mut dyn kgrec_store::Persistable> {
+        None
+    }
+
+    /// Points the model at a checkpoint directory for *epoch-level*
+    /// checkpointing inside `fit` (resume-from-last-good mid-training).
+    /// Returns `false` (the default) when the model does not checkpoint
+    /// during fit; such models can still be covered by the supervisor's
+    /// whole-model warm start through [`Self::persistable`].
+    fn set_checkpoint_dir(&mut self, _dir: &std::path::Path) -> bool {
+        false
+    }
+
     /// Top-`k` recommendations for `user`, excluding `exclude` (typically
     /// the user's training items). Deterministic: ties break toward the
     /// smaller item id.

@@ -103,6 +103,12 @@ pub struct FitOutcome {
     pub elapsed: Duration,
     /// The failure or degradation reason, when not [`FitStatus::Ok`].
     pub reason: Option<String>,
+    /// How far past the wall-clock budget the fit went — or would have
+    /// gone: when a retry is skipped because the remaining budget is
+    /// smaller than the previous attempt's duration, this is the
+    /// *predicted* overshoot of that never-launched attempt. `None` when
+    /// no budget was set or it was respected.
+    pub overshoot: Option<Duration>,
 }
 
 impl FitOutcome {
@@ -177,8 +183,10 @@ pub fn supervise_fit(
     let start = Instant::now();
     let mut attempts = 0u32;
     let mut last_err: CoreError;
+    let mut overshoot: Option<Duration> = None;
     loop {
         attempts += 1;
+        let attempt_start = Instant::now();
         let caught = catch_unwind(AssertUnwindSafe(|| {
             let ctx = TrainContext::new(dataset, train);
             model.fit(&ctx)
@@ -192,12 +200,14 @@ pub fn supervise_fit(
             Ok(()) => probe_scores(model, train, config).err(),
             Err(e) => Some(e),
         };
+        let attempt_duration = attempt_start.elapsed();
         let elapsed = start.elapsed();
         let over_budget = config.wall_clock_budget.is_some_and(|b| elapsed > b);
         match failure {
             None => {
                 let (status, reason) = if over_budget {
                     let b = config.wall_clock_budget.unwrap_or_default();
+                    overshoot = Some(elapsed.saturating_sub(b));
                     (
                         FitStatus::Degraded,
                         Some(
@@ -213,7 +223,7 @@ pub fn supervise_fit(
                 } else {
                     (FitStatus::Retried, Some(format!("succeeded on attempt {attempts}")))
                 };
-                return FitOutcome { status, attempts, elapsed, reason };
+                return FitOutcome { status, attempts, elapsed, reason, overshoot };
             }
             Some(e) => {
                 let retryable = e.is_retryable();
@@ -223,11 +233,30 @@ pub fn supervise_fit(
                 }
                 if over_budget {
                     let b = config.wall_clock_budget.unwrap_or_default();
+                    overshoot = Some(elapsed.saturating_sub(b));
                     last_err = CoreError::BudgetExceeded {
                         elapsed_secs: elapsed.as_secs_f64(),
                         budget_secs: b.as_secs_f64(),
                     };
                     break;
+                }
+                // Budget precision: a retry is pointless when the time it
+                // would plausibly take (the previous attempt's duration —
+                // retries run the same fit with a halved learning rate)
+                // no longer fits in the remaining budget. Skip launching
+                // it and report the predicted overshoot instead of
+                // discovering the blown budget after the fact.
+                if let Some(b) = config.wall_clock_budget {
+                    let remaining = b.saturating_sub(elapsed);
+                    if remaining < attempt_duration {
+                        let predicted = (elapsed + attempt_duration).saturating_sub(b);
+                        overshoot = Some(predicted);
+                        last_err = CoreError::BudgetExceeded {
+                            elapsed_secs: (elapsed + attempt_duration).as_secs_f64(),
+                            budget_secs: b.as_secs_f64(),
+                        };
+                        break;
+                    }
                 }
                 // Backoff hook: models without retry knobs replay the same
                 // deterministic failure, so don't bother re-running them.
@@ -242,7 +271,77 @@ pub fn supervise_fit(
         attempts,
         elapsed: start.elapsed(),
         reason: Some(last_err.to_string()),
+        overshoot,
     }
+}
+
+/// [`supervise_fit`] with crash-safe persistence layered on top.
+///
+/// When `store` is `Some` and the model exposes a persistence handle
+/// ([`Recommender::persistable_mut`]), the supervisor first attempts a
+/// **warm start**: restore the newest usable checkpoint generation and
+/// validate it with the same deterministic score probe a fresh fit gets.
+/// A verified restore skips training entirely — the outcome is
+/// [`FitStatus::Ok`] with `attempts == 0` and a reason naming the
+/// restored generation. Any restore failure (no usable generation,
+/// corrupt snapshot, mismatched model/config, non-finite scores) falls
+/// back to a normal supervised fit; storage faults degrade to retraining,
+/// never to a panic or a garbage model.
+///
+/// After a usable fit, the model is saved back to the store best-effort:
+/// a save failure is appended to the outcome's reason but does not change
+/// its status — persistence is a convenience layered on training, not a
+/// gate on it.
+pub fn supervise_fit_checkpointed(
+    model: &mut dyn Recommender,
+    dataset: &KgDataset,
+    train: &InteractionMatrix,
+    config: &SupervisorConfig,
+    store: Option<&kgrec_store::CheckpointStore>,
+) -> FitOutcome {
+    let start = Instant::now();
+    if let Some(store) = store {
+        let restored = match model.persistable_mut() {
+            Some(p) => store.load_into(p).ok(),
+            None => None,
+        };
+        if let Some(recovery) = restored {
+            if probe_scores(model, train, config).is_ok() {
+                let mut reason =
+                    format!("warm start: restored checkpoint generation {}", recovery.generation);
+                if !recovery.skipped.is_empty() {
+                    reason.push_str(&format!(
+                        " (skipped {} unusable generation(s))",
+                        recovery.skipped.len()
+                    ));
+                }
+                return FitOutcome {
+                    status: FitStatus::Ok,
+                    attempts: 0,
+                    elapsed: start.elapsed(),
+                    reason: Some(reason),
+                    overshoot: None,
+                };
+            }
+            // Restored state probes NaN/+∞: fall through to retraining —
+            // `fit` rebuilds from scratch, discarding the bad restore.
+        }
+    }
+    let mut outcome = supervise_fit(model, dataset, train, config);
+    if outcome.is_usable() {
+        if let (Some(store), Some(p)) = (store, model.persistable()) {
+            let note = format!("supervised fit: {}", outcome.status.label());
+            if let Err(e) = store.save(p, &note) {
+                let warning = format!("checkpoint save failed: {e}");
+                outcome.reason = Some(match outcome.reason.take() {
+                    Some(r) => format!("{r}; {warning}"),
+                    None => warning,
+                });
+            }
+        }
+    }
+    outcome.elapsed = start.elapsed();
+    outcome
 }
 
 #[cfg(test)]
@@ -514,5 +613,212 @@ mod tests {
         assert_eq!(FitStatus::Retried.label(), "retried");
         assert_eq!(FitStatus::Degraded.label(), "degraded");
         assert_eq!(FitStatus::Failed.label(), "failed");
+    }
+
+    #[test]
+    fn futile_retry_is_skipped_with_predicted_overshoot() {
+        // Each attempt takes ~20 ms; the 30 ms budget admits the first
+        // attempt but cannot fit a second. The supervisor must not launch
+        // the doomed retry: one attempt, a predicted overshoot, and a
+        // budget-exceeded reason. (Under extreme timing noise the first
+        // attempt itself blows the budget, which lands in the plain
+        // over-budget branch — same assertions hold.)
+        struct SlowPanic;
+        impl Recommender for SlowPanic {
+            fn name(&self) -> &'static str {
+                "SlowPanic"
+            }
+            fn taxonomy(&self) -> Taxonomy {
+                Taxonomy {
+                    method: "SlowPanic",
+                    venue: "test",
+                    year: 2026,
+                    usage: UsageType::EmbeddingBased,
+                    techniques: &[],
+                    reference: 0,
+                }
+            }
+            fn fit(&mut self, _ctx: &TrainContext<'_>) -> Result<(), CoreError> {
+                std::thread::sleep(Duration::from_millis(20));
+                panic!("slow and broken");
+            }
+            fn prepare_retry(&mut self, _attempt: u32) -> bool {
+                true
+            }
+            fn score(&self, _u: UserId, _i: ItemId) -> f32 {
+                0.0
+            }
+            fn num_items(&self) -> usize {
+                4
+            }
+        }
+        let mut m = SlowPanic;
+        let cfg =
+            SupervisorConfig::default().with_budget(Duration::from_millis(30)).with_max_retries(10);
+        let o = run(&mut m, &cfg);
+        assert_eq!(o.status, FitStatus::Failed);
+        assert_eq!(o.attempts, 1, "the futile retry must not be launched");
+        assert!(o.overshoot.is_some(), "skipping a retry must report the predicted overshoot");
+        assert!(o.reason.unwrap().contains("budget exceeded"));
+    }
+
+    /// A checkpointable double: `fit` fills deterministic weights, scores
+    /// read them, and the `Persistable` impl round-trips them bit-exactly.
+    struct Ckpt {
+        weights: Vec<f32>,
+        fits: u32,
+    }
+
+    impl Ckpt {
+        fn fresh() -> Self {
+            Self { weights: vec![0.0; 4], fits: 0 }
+        }
+    }
+
+    impl kgrec_store::Persistable for Ckpt {
+        fn snapshot_id(&self) -> &'static str {
+            "test.ckpt"
+        }
+        fn write_state(
+            &self,
+            writer: &mut kgrec_store::SnapshotWriter,
+        ) -> Result<(), kgrec_store::StoreError> {
+            let mut s = kgrec_store::Section::new();
+            s.put_u64(self.weights.len() as u64);
+            s.put_f32s(&self.weights);
+            writer.add("weights", s)
+        }
+        fn read_state(
+            &mut self,
+            reader: &kgrec_store::SnapshotReader,
+        ) -> Result<(), kgrec_store::StoreError> {
+            let mut c = reader.section("weights")?;
+            let n = c.take_u64()? as usize;
+            if n != self.weights.len() {
+                return Err(kgrec_store::StoreError::ShapeMismatch {
+                    section: "weights".to_string(),
+                    detail: format!("stored {n}, live {}", self.weights.len()),
+                });
+            }
+            self.weights.copy_from_slice(&c.take_f32s(n)?);
+            Ok(())
+        }
+    }
+
+    impl Recommender for Ckpt {
+        fn name(&self) -> &'static str {
+            "Ckpt"
+        }
+        fn taxonomy(&self) -> Taxonomy {
+            Taxonomy {
+                method: "Ckpt",
+                venue: "test",
+                year: 2026,
+                usage: UsageType::EmbeddingBased,
+                techniques: &[],
+                reference: 0,
+            }
+        }
+        fn fit(&mut self, _ctx: &TrainContext<'_>) -> Result<(), CoreError> {
+            self.fits += 1;
+            for (i, w) in self.weights.iter_mut().enumerate() {
+                *w = 10.0 + i as f32;
+            }
+            Ok(())
+        }
+        fn score(&self, _user: UserId, item: ItemId) -> f32 {
+            self.weights[item.index() % self.weights.len()]
+        }
+        fn num_items(&self) -> usize {
+            4
+        }
+        fn persistable(&self) -> Option<&dyn kgrec_store::Persistable> {
+            Some(self)
+        }
+        fn persistable_mut(&mut self) -> Option<&mut dyn kgrec_store::Persistable> {
+            Some(self)
+        }
+    }
+
+    fn ckpt_scratch(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("kgrec_core_ckpt_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn run_checkpointed(
+        model: &mut dyn Recommender,
+        store: Option<&kgrec_store::CheckpointStore>,
+    ) -> FitOutcome {
+        let ds = toy_dataset();
+        let train = ds.interactions.clone();
+        supervise_fit_checkpointed(model, &ds, &train, &SupervisorConfig::default(), store)
+    }
+
+    #[test]
+    fn checkpointed_cold_start_trains_then_saves() {
+        let dir = ckpt_scratch("cold");
+        let store = kgrec_store::CheckpointStore::open(&dir).expect("open");
+        let mut m = Ckpt::fresh();
+        let o = run_checkpointed(&mut m, Some(&store));
+        assert_eq!(o.status, FitStatus::Ok);
+        assert_eq!(o.attempts, 1);
+        assert_eq!(m.fits, 1);
+        assert_eq!(store.generations(), vec![1]);
+        assert_eq!(store.last_good(), Some(1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpointed_warm_start_skips_training() {
+        let dir = ckpt_scratch("warm");
+        let store = kgrec_store::CheckpointStore::open(&dir).expect("open");
+        let mut trained = Ckpt::fresh();
+        run_checkpointed(&mut trained, Some(&store));
+
+        let mut restored = Ckpt::fresh();
+        let o = run_checkpointed(&mut restored, Some(&store));
+        assert_eq!(o.status, FitStatus::Ok);
+        assert_eq!(o.attempts, 0, "a warm start must not run fit");
+        assert_eq!(restored.fits, 0);
+        assert!(o.reason.expect("reason").contains("warm start"));
+        for (a, b) in trained.weights.iter().zip(&restored.weights) {
+            assert_eq!(a.to_bits(), b.to_bits(), "restore must be bit-exact");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpointed_without_store_is_plain_supervision() {
+        let mut m = Ckpt::fresh();
+        let o = run_checkpointed(&mut m, None);
+        assert_eq!(o.status, FitStatus::Ok);
+        assert_eq!(o.attempts, 1);
+        assert!(o.reason.is_none());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_degrades_to_retraining() {
+        let dir = ckpt_scratch("corrupt");
+        let store = kgrec_store::CheckpointStore::open(&dir).expect("open");
+        let mut trained = Ckpt::fresh();
+        run_checkpointed(&mut trained, Some(&store));
+        // Flip a payload bit in the only generation: the warm start must
+        // reject it and fall back to retraining, then save a fresh one.
+        let path = store.snapshot_path(1);
+        let mut bytes = std::fs::read(&path).expect("read");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x20;
+        std::fs::write(&path, &bytes).expect("rewrite");
+
+        let mut m = Ckpt::fresh();
+        let o = run_checkpointed(&mut m, Some(&store));
+        assert_eq!(o.status, FitStatus::Ok);
+        assert_eq!(o.attempts, 1, "corrupt store must fall back to training");
+        assert_eq!(m.fits, 1);
+        assert_eq!(store.generations(), vec![1, 2], "retrained model must be saved back");
+        assert_eq!(store.last_good(), Some(2));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -198,6 +198,34 @@ impl KgeModel for DistMult {
     }
 }
 
+impl kgrec_store::Persistable for DistMult {
+    fn snapshot_id(&self) -> &'static str {
+        "kge.distmult"
+    }
+
+    fn write_state(
+        &self,
+        writer: &mut kgrec_store::SnapshotWriter,
+    ) -> Result<(), kgrec_store::StoreError> {
+        writer.add("entities", crate::persist::table_section(&self.entities))?;
+        writer.add("relations", crate::persist::table_section(&self.relations))?;
+        writer.add("hyper", crate::persist::scalar_section(self.l2))
+    }
+
+    fn read_state(
+        &mut self,
+        reader: &kgrec_store::SnapshotReader,
+    ) -> Result<(), kgrec_store::StoreError> {
+        let ent = crate::persist::read_table(reader, "entities", &self.entities)?;
+        let rel = crate::persist::read_table(reader, "relations", &self.relations)?;
+        let l2 = crate::persist::read_scalar(reader, "hyper")?;
+        self.entities.data_mut().copy_from_slice(&ent);
+        self.relations.data_mut().copy_from_slice(&rel);
+        self.l2 = l2;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

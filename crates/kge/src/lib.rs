@@ -18,22 +18,26 @@
 #![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)] // gradient kernels index slices in lockstep
 
+pub mod checkpoint;
 pub mod distmult;
 pub mod eval;
 pub mod grad;
 pub mod metapath2vec;
 pub mod model;
+mod persist;
 pub mod trainer;
 pub mod transd;
 pub mod transe;
 pub mod transh;
 pub mod transr;
 
+pub use checkpoint::{train_checkpointed, CheckpointedReport};
 pub use distmult::DistMult;
 pub use grad::{GradBatch, GradOp};
 pub use model::KgeModel;
 pub use trainer::{
-    train, train_guarded, train_with, EpochStats, GuardedReport, TrainConfig, TrainControl,
+    train, train_guarded, train_with, train_with_from, EpochStats, GuardedReport, TrainConfig,
+    TrainControl,
 };
 pub use transd::TransD;
 pub use transe::TransE;

@@ -121,6 +121,32 @@ pub fn train_with<M, F>(
     model: &mut M,
     graph: &KnowledgeGraph,
     config: &TrainConfig,
+    on_epoch: F,
+) -> Vec<f32>
+where
+    M: KgeModel,
+    F: FnMut(&mut M, &EpochStats) -> TrainControl,
+{
+    train_with_from(model, graph, config, 0, on_epoch)
+}
+
+/// [`train_with`] starting at `start_epoch` instead of 0: the warm-start
+/// entry point of checkpoint resume (see [`crate::checkpoint`]).
+///
+/// The RNG draws of epochs `0..start_epoch` are replayed without training
+/// — shuffles and corruption draws depend only on the data, never on the
+/// parameters — so a run resumed from an epoch-`k` checkpoint consumes
+/// exactly the RNG stream an uninterrupted run would have at epoch `k`,
+/// and finishes with bit-identical parameters. `EpochStats::epoch` and the
+/// loss curve cover the epochs that actually run (`start_epoch..epochs`).
+///
+/// # Panics
+/// Panics if the model is sized for fewer entities than the graph.
+pub fn train_with_from<M, F>(
+    model: &mut M,
+    graph: &KnowledgeGraph,
+    config: &TrainConfig,
+    start_epoch: usize,
     mut on_epoch: F,
 ) -> Vec<f32>
 where
@@ -133,7 +159,19 @@ where
     );
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut order: Vec<usize> = (0..graph.num_triples()).collect();
-    let mut curve = Vec::with_capacity(config.epochs);
+    // Burn the RNG stream of already-completed epochs. Corruption draws
+    // happen in shuffled-triple order in the real loop regardless of chunk
+    // size, so this replays the exact per-epoch draw sequence.
+    for _ in 0..start_epoch.min(config.epochs) {
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for &idx in &order {
+            let _ = corrupt(graph, graph.triples()[idx], &mut rng);
+        }
+    }
+    let mut curve = Vec::with_capacity(config.epochs.saturating_sub(start_epoch));
     // Reusable batch buffers: corruption draws are front-loaded per chunk
     // so the model sees a contiguous slice of pairs instead of an
     // alternating sample/update cadence. The RNG stream is identical to
@@ -150,7 +188,7 @@ where
     // steady state allocates nothing (the batched-path analogue of the
     // models' `Scratch`).
     let pool: Mutex<Vec<GradBatch>> = Mutex::new(Vec::new());
-    for epoch in 0..config.epochs {
+    for epoch in start_epoch..config.epochs {
         // Fresh shuffle per epoch.
         for i in (1..order.len()).rev() {
             let j = rng.gen_range(0..=i);

@@ -329,6 +329,40 @@ impl KgeModel for TransD {
     }
 }
 
+impl kgrec_store::Persistable for TransD {
+    fn snapshot_id(&self) -> &'static str {
+        "kge.transd"
+    }
+
+    fn write_state(
+        &self,
+        writer: &mut kgrec_store::SnapshotWriter,
+    ) -> Result<(), kgrec_store::StoreError> {
+        writer.add("entities", crate::persist::table_section(&self.entities))?;
+        writer.add("entity_proj", crate::persist::table_section(&self.entity_proj))?;
+        writer.add("relations", crate::persist::table_section(&self.relations))?;
+        writer.add("relation_proj", crate::persist::table_section(&self.relation_proj))?;
+        writer.add("hyper", crate::persist::scalar_section(self.margin))
+    }
+
+    fn read_state(
+        &mut self,
+        reader: &kgrec_store::SnapshotReader,
+    ) -> Result<(), kgrec_store::StoreError> {
+        let ent = crate::persist::read_table(reader, "entities", &self.entities)?;
+        let ent_p = crate::persist::read_table(reader, "entity_proj", &self.entity_proj)?;
+        let rel = crate::persist::read_table(reader, "relations", &self.relations)?;
+        let rel_p = crate::persist::read_table(reader, "relation_proj", &self.relation_proj)?;
+        let margin = crate::persist::read_scalar(reader, "hyper")?;
+        self.entities.data_mut().copy_from_slice(&ent);
+        self.entity_proj.data_mut().copy_from_slice(&ent_p);
+        self.relations.data_mut().copy_from_slice(&rel);
+        self.relation_proj.data_mut().copy_from_slice(&rel_p);
+        self.margin = margin;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

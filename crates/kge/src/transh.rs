@@ -290,6 +290,37 @@ impl KgeModel for TransH {
     }
 }
 
+impl kgrec_store::Persistable for TransH {
+    fn snapshot_id(&self) -> &'static str {
+        "kge.transh"
+    }
+
+    fn write_state(
+        &self,
+        writer: &mut kgrec_store::SnapshotWriter,
+    ) -> Result<(), kgrec_store::StoreError> {
+        writer.add("entities", crate::persist::table_section(&self.entities))?;
+        writer.add("translations", crate::persist::table_section(&self.translations))?;
+        writer.add("normals", crate::persist::table_section(&self.normals))?;
+        writer.add("hyper", crate::persist::scalar_section(self.margin))
+    }
+
+    fn read_state(
+        &mut self,
+        reader: &kgrec_store::SnapshotReader,
+    ) -> Result<(), kgrec_store::StoreError> {
+        let ent = crate::persist::read_table(reader, "entities", &self.entities)?;
+        let tra = crate::persist::read_table(reader, "translations", &self.translations)?;
+        let nor = crate::persist::read_table(reader, "normals", &self.normals)?;
+        let margin = crate::persist::read_scalar(reader, "hyper")?;
+        self.entities.data_mut().copy_from_slice(&ent);
+        self.translations.data_mut().copy_from_slice(&tra);
+        self.normals.data_mut().copy_from_slice(&nor);
+        self.margin = margin;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

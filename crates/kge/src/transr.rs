@@ -325,6 +325,39 @@ impl KgeModel for TransR {
     }
 }
 
+impl kgrec_store::Persistable for TransR {
+    fn snapshot_id(&self) -> &'static str {
+        "kge.transr"
+    }
+
+    fn write_state(
+        &self,
+        writer: &mut kgrec_store::SnapshotWriter,
+    ) -> Result<(), kgrec_store::StoreError> {
+        writer.add("entities", crate::persist::table_section(&self.entities))?;
+        writer.add("relations", crate::persist::table_section(&self.relations))?;
+        writer.add("projections", crate::persist::matrices_section(&self.projections))?;
+        writer.add("hyper", crate::persist::scalar_section(self.margin))
+    }
+
+    fn read_state(
+        &mut self,
+        reader: &kgrec_store::SnapshotReader,
+    ) -> Result<(), kgrec_store::StoreError> {
+        let ent = crate::persist::read_table(reader, "entities", &self.entities)?;
+        let rel = crate::persist::read_table(reader, "relations", &self.relations)?;
+        let projs = crate::persist::read_matrices(reader, "projections", &self.projections)?;
+        let margin = crate::persist::read_scalar(reader, "hyper")?;
+        self.entities.data_mut().copy_from_slice(&ent);
+        self.relations.data_mut().copy_from_slice(&rel);
+        for (m, data) in self.projections.iter_mut().zip(&projs) {
+            m.data_mut().copy_from_slice(data);
+        }
+        self.margin = margin;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -137,6 +137,70 @@ impl Recommender for BprMf {
     fn num_items(&self) -> usize {
         self.items.len()
     }
+
+    fn persistable(&self) -> Option<&dyn kgrec_store::Persistable> {
+        Some(self)
+    }
+
+    fn persistable_mut(&mut self) -> Option<&mut dyn kgrec_store::Persistable> {
+        Some(self)
+    }
+}
+
+impl kgrec_store::Persistable for BprMf {
+    fn snapshot_id(&self) -> &'static str {
+        "baseline.bprmf"
+    }
+
+    fn config_hash(&self) -> u64 {
+        let dim = format!("dim={}", self.config.dim);
+        let epochs = format!("epochs={}", self.config.epochs);
+        let lr = format!("lr={:08x}", self.config.learning_rate.to_bits());
+        let l2 = format!("l2={:08x}", self.config.l2.to_bits());
+        let seed = format!("seed={}", self.config.seed);
+        kgrec_store::config_hash(&[&dim, &epochs, &lr, &l2, &seed])
+    }
+
+    fn snapshot_seed(&self) -> u64 {
+        self.config.seed
+    }
+
+    fn write_state(
+        &self,
+        writer: &mut kgrec_store::SnapshotWriter,
+    ) -> Result<(), kgrec_store::StoreError> {
+        writer.add("users", crate::persist::table_section(&self.users))?;
+        writer.add("items", crate::persist::table_section(&self.items))?;
+        writer.add("bias", crate::persist::vec_section(&self.item_bias))
+    }
+
+    fn read_state(
+        &mut self,
+        reader: &kgrec_store::SnapshotReader,
+    ) -> Result<(), kgrec_store::StoreError> {
+        // Gather everything before committing anything.
+        let (urows, udim, udata) = crate::persist::read_table(reader, "users", &self.users)?;
+        let (irows, idim, idata) = crate::persist::read_table(reader, "items", &self.items)?;
+        let bias = crate::persist::read_vec(reader, "bias", &self.item_bias)?;
+        for (name, dim) in [("users", udim), ("items", idim)] {
+            if dim != self.config.dim {
+                return Err(kgrec_store::StoreError::ShapeMismatch {
+                    section: name.to_string(),
+                    detail: format!("stored dim {dim}, configured dim {}", self.config.dim),
+                });
+            }
+        }
+        if bias.len() != irows {
+            return Err(kgrec_store::StoreError::ShapeMismatch {
+                section: "bias".to_string(),
+                detail: format!("{} biases for {irows} items", bias.len()),
+            });
+        }
+        self.users = crate::persist::table_from(urows, udim, &udata);
+        self.items = crate::persist::table_from(irows, idim, &idata);
+        self.item_bias = bias;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

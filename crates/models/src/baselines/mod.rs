@@ -4,6 +4,6 @@ mod bprmf;
 mod itemknn;
 mod mostpop;
 
-pub use bprmf::BprMf;
+pub use bprmf::{BprMf, BprMfConfig};
 pub use itemknn::ItemKnn;
 pub use mostpop::MostPop;

@@ -39,6 +39,35 @@ impl Recommender for MostPop {
     fn num_items(&self) -> usize {
         self.popularity.len()
     }
+
+    fn persistable(&self) -> Option<&dyn kgrec_store::Persistable> {
+        Some(self)
+    }
+
+    fn persistable_mut(&mut self) -> Option<&mut dyn kgrec_store::Persistable> {
+        Some(self)
+    }
+}
+
+impl kgrec_store::Persistable for MostPop {
+    fn snapshot_id(&self) -> &'static str {
+        "baseline.mostpop"
+    }
+
+    fn write_state(
+        &self,
+        writer: &mut kgrec_store::SnapshotWriter,
+    ) -> Result<(), kgrec_store::StoreError> {
+        writer.add("popularity", crate::persist::vec_section(&self.popularity))
+    }
+
+    fn read_state(
+        &mut self,
+        reader: &kgrec_store::SnapshotReader,
+    ) -> Result<(), kgrec_store::StoreError> {
+        self.popularity = crate::persist::read_vec(reader, "popularity", &self.popularity)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

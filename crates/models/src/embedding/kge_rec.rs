@@ -14,10 +14,15 @@ use kgrec_core::taxonomy::Taxonomy;
 use kgrec_core::{CoreError, Recommender, TrainContext};
 use kgrec_data::dataset::UserItemGraph;
 use kgrec_data::{ItemId, UserId};
-use kgrec_kge::{train_guarded, DistMult, KgeModel, TrainConfig, TransD, TransE, TransH, TransR};
+use kgrec_kge::{
+    train_checkpointed, train_guarded, DistMult, KgeModel, TrainConfig, TransD, TransE, TransH,
+    TransR,
+};
 use kgrec_linalg::DivergencePolicy;
+use kgrec_store::{CheckpointStore, Persistable};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::{Path, PathBuf};
 
 /// The KGE algorithm used as scoring backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +99,7 @@ pub struct KgeRecommender {
     /// Hyper-parameters.
     pub config: KgeRecommenderConfig,
     state: Option<(Box<dyn KgeModel>, UserItemGraph)>,
+    checkpoint_dir: Option<PathBuf>,
 }
 
 impl std::fmt::Debug for KgeRecommender {
@@ -101,6 +107,7 @@ impl std::fmt::Debug for KgeRecommender {
         f.debug_struct("KgeRecommender")
             .field("config", &self.config)
             .field("fitted", &self.state.is_some())
+            .field("checkpoint_dir", &self.checkpoint_dir)
             .finish()
     }
 }
@@ -108,7 +115,7 @@ impl std::fmt::Debug for KgeRecommender {
 impl KgeRecommender {
     /// Creates an unfitted model.
     pub fn new(config: KgeRecommenderConfig) -> Self {
-        Self { config, state: None }
+        Self { config, state: None, checkpoint_dir: None }
     }
 
     /// Creates a model with the given backend and default remaining
@@ -159,35 +166,59 @@ impl Recommender for KgeRecommender {
             seed: self.config.seed.wrapping_add(1),
             threads: None,
         };
+        // When a checkpoint directory is set, each backend checkpoints into
+        // its own subdirectory (the snapshot model id disambiguates too,
+        // but separate stores keep generation numbering per backend). A
+        // store that cannot be opened degrades to uncheckpointed training
+        // rather than failing the fit.
+        let store = self.checkpoint_dir.as_ref().and_then(|d| {
+            CheckpointStore::open(d.join(self.config.backend.label().to_lowercase())).ok()
+        });
         // Guarded training needs a concrete `Clone` type for snapshot /
         // rollback, so the trainer runs monomorphically per backend and
         // the result is boxed afterwards.
-        fn run<M: KgeModel + Clone + Send + 'static>(
+        fn run<M: KgeModel + Clone + Persistable + Send + 'static>(
             mut m: M,
             graph: &kgrec_graph::KnowledgeGraph,
             cfg: &TrainConfig,
+            store: Option<&CheckpointStore>,
         ) -> Result<Box<dyn KgeModel>, CoreError> {
-            let report = train_guarded(&mut m, graph, cfg, DivergencePolicy::default());
-            if report.usable() {
+            let (usable, aborted_at, reason) = match store {
+                Some(s) => {
+                    let report =
+                        train_checkpointed(&mut m, graph, cfg, DivergencePolicy::default(), s);
+                    (report.usable(), report.guarded.aborted_at, report.guarded.reason)
+                }
+                None => {
+                    let report = train_guarded(&mut m, graph, cfg, DivergencePolicy::default());
+                    (report.usable(), report.aborted_at, report.reason)
+                }
+            };
+            if usable {
                 Ok(Box::new(m))
             } else {
                 Err(CoreError::Diverged {
-                    epoch: report.aborted_at.unwrap_or(0),
-                    detail: report.reason.unwrap_or_else(|| "training aborted".into()),
+                    epoch: aborted_at.unwrap_or(0),
+                    detail: reason.unwrap_or_else(|| "training aborted".into()),
                 })
             }
         }
+        let g = &uig.graph;
+        let st = store.as_ref();
         let model = match self.config.backend {
-            KgeBackend::TransE => run(TransE::new(&mut rng, n, r, dim, margin), &uig.graph, &cfg),
-            KgeBackend::TransH => run(TransH::new(&mut rng, n, r, dim, margin), &uig.graph, &cfg),
-            KgeBackend::TransR => {
-                run(TransR::new(&mut rng, n, r, dim, dim, margin), &uig.graph, &cfg)
-            }
-            KgeBackend::TransD => run(TransD::new(&mut rng, n, r, dim, margin), &uig.graph, &cfg),
-            KgeBackend::DistMult => run(DistMult::new(&mut rng, n, r, dim), &uig.graph, &cfg),
+            KgeBackend::TransE => run(TransE::new(&mut rng, n, r, dim, margin), g, &cfg, st),
+            KgeBackend::TransH => run(TransH::new(&mut rng, n, r, dim, margin), g, &cfg, st),
+            KgeBackend::TransR => run(TransR::new(&mut rng, n, r, dim, dim, margin), g, &cfg, st),
+            KgeBackend::TransD => run(TransD::new(&mut rng, n, r, dim, margin), g, &cfg, st),
+            KgeBackend::DistMult => run(DistMult::new(&mut rng, n, r, dim), g, &cfg, st),
         }?;
         self.state = Some((model, uig));
         Ok(())
+    }
+
+    fn set_checkpoint_dir(&mut self, dir: &Path) -> bool {
+        self.checkpoint_dir = Some(dir.to_path_buf());
+        true
     }
 
     fn prepare_retry(&mut self, attempt: u32) -> bool {
@@ -227,6 +258,39 @@ mod tests {
             let auc = evaluate_ctr(&m, &pairs).auc;
             assert!(auc > 0.55, "{}: AUC {auc}", backend.label());
         }
+    }
+
+    #[test]
+    fn checkpointed_refit_restores_identical_scores() {
+        let dir = std::env::temp_dir().join(format!("kgrec_kge_rec_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let synth = generate(&ScenarioConfig::tiny(), 11);
+        let split = ratio_split(&synth.dataset.interactions, 0.2, 1);
+        let ctx = TrainContext::new(&synth.dataset, &split.train);
+
+        let mut a = KgeRecommender::with_backend(KgeBackend::TransE);
+        assert!(a.set_checkpoint_dir(&dir), "KGE-Rec must accept a checkpoint dir");
+        a.fit(&ctx).unwrap();
+        assert!(
+            dir.join("transe").join("LAST_GOOD").exists(),
+            "fit must leave a per-backend checkpoint store behind"
+        );
+
+        // A second model with the same config resumes from the completed
+        // checkpoint instead of retraining — identical scores, bit for bit.
+        let mut b = KgeRecommender::with_backend(KgeBackend::TransE);
+        b.set_checkpoint_dir(&dir);
+        b.fit(&ctx).unwrap();
+        for u in 0..3u32 {
+            for i in 0..3u32 {
+                assert_eq!(
+                    a.score(UserId(u), ItemId(i)).to_bits(),
+                    b.score(UserId(u), ItemId(i)).to_bits(),
+                    "user {u} item {i}"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -25,5 +25,6 @@ pub mod baselines;
 pub mod common;
 pub mod embedding;
 pub mod pathbased;
+mod persist;
 pub mod registry;
 pub mod unified;

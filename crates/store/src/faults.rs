@@ -1,0 +1,179 @@
+//! Deterministic storage-fault injection.
+//!
+//! The disk-level counterpart of `kgrec_data::faults`: each fault is a
+//! reproducible corruption of a checkpoint directory, aimed at a specific
+//! defense in the load path. The recovery-matrix tests (and the
+//! `eval_suite` / `crash_drill` storage drills) inject every fault and
+//! assert the loader degrades gracefully — previous good generation, then
+//! fresh training — and never panics or loads garbage.
+//!
+//! | fault                 | corrupts                         | expected defense          |
+//! |-----------------------|----------------------------------|---------------------------|
+//! | `truncation`          | snapshot cut to half length      | structural decode / CRC   |
+//! | `bit-flip`            | one payload bit flipped          | per-section CRC32         |
+//! | `torn-write`          | tail overwritten + stray `.tmp`  | per-section CRC32         |
+//! | `missing-manifest`    | `MANIFEST` deleted               | manifest is only a hint   |
+//! | `stale-format-version`| header version field bumped      | version gate              |
+//! | `checksum-mismatch`   | stored CRC field (payload intact)| CRC comparison            |
+//! | `dangling-last-good`  | pointer to nonexistent generation| pointer is only a hint    |
+
+use crate::atomic::{temp_path, write_atomic};
+use crate::checkpoint::CheckpointStore;
+use crate::error::StoreError;
+use crate::snapshot::corrupt_first_stored_crc;
+use std::fmt;
+use std::fs;
+
+/// One reproducible way a checkpoint directory can be damaged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFault {
+    /// The newest snapshot is truncated to half its length (power loss
+    /// mid-write on a filesystem without atomic rename, media error).
+    Truncation,
+    /// A single bit in the newest snapshot's payload flips (bit rot).
+    BitFlip,
+    /// A torn write: the tail of the newest snapshot is overwritten with
+    /// garbage at unchanged length, and a half-written `.tmp` sibling is
+    /// left behind as the crashed writer would have.
+    TornWrite,
+    /// The `MANIFEST` ledger is deleted.
+    MissingManifest,
+    /// The newest snapshot claims a future format version.
+    StaleFormatVersion,
+    /// The stored CRC of the newest snapshot's first section is damaged
+    /// while the payload stays intact.
+    ChecksumMismatch,
+    /// `LAST_GOOD` points at a generation that does not exist.
+    DanglingLastGood,
+}
+
+impl StorageFault {
+    /// Every storage fault, in a stable order (drives the recovery matrix).
+    #[must_use]
+    pub fn all() -> [StorageFault; 7] {
+        [
+            Self::Truncation,
+            Self::BitFlip,
+            Self::TornWrite,
+            Self::MissingManifest,
+            Self::StaleFormatVersion,
+            Self::ChecksumMismatch,
+            Self::DanglingLastGood,
+        ]
+    }
+
+    /// Stable kebab-case label (CLI flag value, test matrix key).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Truncation => "truncation",
+            Self::BitFlip => "bit-flip",
+            Self::TornWrite => "torn-write",
+            Self::MissingManifest => "missing-manifest",
+            Self::StaleFormatVersion => "stale-format-version",
+            Self::ChecksumMismatch => "checksum-mismatch",
+            Self::DanglingLastGood => "dangling-last-good",
+        }
+    }
+
+    /// Parses a label produced by [`Self::label`].
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        Self::all().into_iter().find(|f| f.label() == label)
+    }
+}
+
+impl fmt::Display for StorageFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Injects `fault` into the checkpoint directory behind `store`.
+///
+/// Deterministic: the same store contents and fault always produce the same
+/// corruption. Faults that target a snapshot corrupt the *newest*
+/// generation — the one recovery would otherwise pick first.
+///
+/// # Errors
+/// [`StoreError`] if the directory holds nothing to corrupt (no
+/// generations) or the corruption itself cannot be written.
+pub fn inject_storage(store: &CheckpointStore, fault: StorageFault) -> Result<(), StoreError> {
+    match fault {
+        StorageFault::MissingManifest => {
+            fs::remove_file(store.manifest_path())
+                .map_err(|e| StoreError::io("remove MANIFEST", e))?;
+            return Ok(());
+        }
+        StorageFault::DanglingLastGood => {
+            return write_atomic(&store.last_good_path(), b"999999\n");
+        }
+        _ => {}
+    }
+
+    let newest = *store.generations().last().ok_or(StoreError::NoUsableGeneration { tried: 0 })?;
+    let path = store.snapshot_path(newest);
+    let mut bytes =
+        fs::read(&path).map_err(|e| StoreError::io(format!("read {}", path.display()), e))?;
+
+    match fault {
+        StorageFault::Truncation => {
+            bytes.truncate(bytes.len() / 2);
+        }
+        StorageFault::BitFlip => {
+            let at = bytes.len() * 3 / 4;
+            bytes[at] ^= 0x10;
+        }
+        StorageFault::TornWrite => {
+            let tail = bytes.len() * 3 / 4;
+            for b in &mut bytes[tail..] {
+                *b = 0xAA;
+            }
+            // The crashed writer also leaves a half-written temp sibling.
+            let half = bytes.len() / 2;
+            // kglint::allow(SA007, deliberately simulating the non-atomic litter a crashed writer leaves behind)
+            fs::write(temp_path(&path), &bytes[..half])
+                .map_err(|e| StoreError::io("write torn .tmp", e))?;
+        }
+        StorageFault::StaleFormatVersion => {
+            if bytes.len() < 8 {
+                return Err(StoreError::Truncated {
+                    detail: "snapshot too short to version-bump".to_string(),
+                });
+            }
+            bytes[4..8].copy_from_slice(&9999u32.to_le_bytes());
+        }
+        StorageFault::ChecksumMismatch => {
+            corrupt_first_stored_crc(&mut bytes)?;
+        }
+        StorageFault::MissingManifest | StorageFault::DanglingLastGood => unreachable!(),
+    }
+
+    // Deliberately NOT the atomic writer: fault injection simulates exactly
+    // the partial on-disk states the atomic protocol exists to prevent.
+    // kglint::allow(SA007, fault injector must place corrupted bytes directly, bypassing the atomic writer on purpose)
+    fs::write(&path, &bytes)
+        .map_err(|e| StoreError::io(format!("write corrupted {}", path.display()), e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for fault in StorageFault::all() {
+            assert_eq!(StorageFault::from_label(fault.label()), Some(fault));
+        }
+        assert_eq!(StorageFault::from_label("nope"), None);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: Vec<_> = StorageFault::all().iter().map(|f| f.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+}

@@ -25,6 +25,10 @@ echo "== eval_suite fault drill (graceful degradation smoke)"
 cargo run --release -p kgrec-bench --bin eval_suite -- --quick --inject-fault \
   | tail -n 3
 
+echo "== crash drill (checkpoint recovery under every storage fault)"
+cargo run --release -p kgrec-bench --bin crash_drill -- --dir target/crash_drill
+test -s target/crash_drill/MANIFEST || { echo "FAIL: crash-drill MANIFEST missing"; exit 1; }
+
 echo "== serial/parallel equivalence (eval_suite --threads 1 vs 4)"
 cargo build --release -p kgrec-bench --bin eval_suite
 ./target/release/eval_suite --quick --no-timing --threads 1 > /tmp/kgrec_t1.txt

@@ -1,0 +1,212 @@
+//! Property tests for the persistence layer: a snapshot round-trip must
+//! be invisible to the model.
+//!
+//! For every KGE family, save → load into a *differently initialised*
+//! model → every embedding and every triple score is bit-identical to
+//! the original. The same holds for the persistable baselines
+//! (`MostPop`, `BprMf`). A snapshot must also refuse to load into a
+//! model of another family — restoring is gather-then-commit, so the
+//! target is untouched on mismatch.
+
+use kgrec_core::{Recommender, TrainContext};
+use kgrec_data::split::ratio_split;
+use kgrec_data::synth::{generate, ScenarioConfig};
+use kgrec_graph::{EntityId, KgBuilder, KnowledgeGraph, RelationId};
+use kgrec_kge::trainer::{train, TrainConfig};
+use kgrec_kge::{DistMult, KgeModel, TransD, TransE, TransH, TransR};
+use kgrec_models::baselines::{BprMf, BprMfConfig, MostPop};
+use kgrec_store::{load_snapshot, save_snapshot, Persistable};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+/// A per-test scratch file path under the OS temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kgrec_proptest_store_{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    dir.join(format!("{tag}.snap"))
+}
+
+/// The small two-relation graph the trainer proptests use.
+fn train_graph(entities: usize) -> KnowledgeGraph {
+    let mut b = KgBuilder::new();
+    let ty = b.entity_type("t");
+    let es: Vec<_> = (0..entities).map(|i| b.entity(&format!("e{i}"), ty)).collect();
+    let r0 = b.relation("r0");
+    let r1 = b.relation("r1");
+    for i in 0..entities {
+        b.triple(es[i], r0, es[(i + 1) % entities]);
+        b.triple(es[i], r1, es[(i + 3) % entities]);
+        if i % 2 == 0 {
+            b.triple(es[i], r0, es[(i + 2) % entities]);
+        }
+    }
+    b.build(false)
+}
+
+/// Every (head, relation, tail) score a model produces, as bits.
+fn score_bits<M: KgeModel>(m: &M, graph: &KnowledgeGraph) -> Vec<u32> {
+    let mut out = Vec::new();
+    for h in 0..graph.num_entities() {
+        for r in 0..graph.num_relations() {
+            for t in 0..graph.num_entities() {
+                out.push(
+                    m.score(EntityId(h as u32), RelationId(r as u32), EntityId(t as u32)).to_bits(),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Every parameter a model exposes through the `KgeModel` accessors, as bits.
+fn embedding_bits<M: KgeModel>(m: &M, graph: &KnowledgeGraph) -> Vec<u32> {
+    let mut out = Vec::new();
+    for e in 0..graph.num_entities() {
+        out.extend(m.entity_embedding(EntityId(e as u32)).iter().map(|x| x.to_bits()));
+    }
+    for r in 0..graph.num_relations() {
+        out.extend(m.relation_embedding(RelationId(r as u32)).iter().map(|x| x.to_bits()));
+    }
+    out
+}
+
+/// Trains a model, snapshots it, restores into a model initialised from a
+/// *different* seed, and asserts embeddings and scores are bit-identical.
+fn assert_kge_roundtrip<M, F>(tag: &str, graph: &KnowledgeGraph, build: F, seed: u64)
+where
+    M: KgeModel + Persistable,
+    F: Fn(&mut StdRng) -> M,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trained = build(&mut rng);
+    let config =
+        TrainConfig { epochs: 3, learning_rate: 0.05, seed: seed ^ 0x5EED, threads: Some(1) };
+    train(&mut trained, graph, &config);
+
+    let path = scratch(&format!("{tag}_{seed}"));
+    save_snapshot(&path, &trained).expect("save");
+
+    // The restore target starts from different bits on purpose: only the
+    // snapshot can explain a bit-identical result.
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9E37_79B9));
+    let mut restored = build(&mut rng);
+    let meta = load_snapshot(&path, &mut restored).expect("load");
+    assert_eq!(meta.model_id, trained.snapshot_id());
+    assert_eq!(meta.config_hash, Persistable::config_hash(&trained));
+
+    assert_eq!(embedding_bits(&restored, graph), embedding_bits(&trained, graph), "{tag}");
+    assert_eq!(score_bits(&restored, graph), score_bits(&trained, graph), "{tag}");
+    let _ = std::fs::remove_file(&path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn transe_snapshot_roundtrip_is_bit_identical(seed in 0u64..1000, dim in 4usize..10) {
+        let graph = train_graph(9);
+        assert_kge_roundtrip("transe", &graph, |rng| {
+            TransE::new(rng, graph.num_entities(), graph.num_relations(), dim, 1.0)
+        }, seed);
+    }
+
+    #[test]
+    fn transh_snapshot_roundtrip_is_bit_identical(seed in 0u64..1000, dim in 4usize..10) {
+        let graph = train_graph(9);
+        assert_kge_roundtrip("transh", &graph, |rng| {
+            TransH::new(rng, graph.num_entities(), graph.num_relations(), dim, 1.0)
+        }, seed);
+    }
+
+    #[test]
+    fn transr_snapshot_roundtrip_is_bit_identical(seed in 0u64..1000, dim in 4usize..10) {
+        let graph = train_graph(9);
+        assert_kge_roundtrip("transr", &graph, |rng| {
+            TransR::new(rng, graph.num_entities(), graph.num_relations(), dim, dim / 2, 1.0)
+        }, seed);
+    }
+
+    #[test]
+    fn transd_snapshot_roundtrip_is_bit_identical(seed in 0u64..1000, dim in 4usize..10) {
+        let graph = train_graph(9);
+        assert_kge_roundtrip("transd", &graph, |rng| {
+            TransD::new(rng, graph.num_entities(), graph.num_relations(), dim, 1.0)
+        }, seed);
+    }
+
+    #[test]
+    fn distmult_snapshot_roundtrip_is_bit_identical(seed in 0u64..1000, dim in 4usize..10) {
+        let graph = train_graph(9);
+        assert_kge_roundtrip("distmult", &graph, |rng| {
+            DistMult::new(rng, graph.num_entities(), graph.num_relations(), dim)
+        }, seed);
+    }
+}
+
+#[test]
+fn snapshot_refuses_a_foreign_model_family() {
+    let graph = train_graph(9);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut transe = TransE::new(&mut rng, graph.num_entities(), graph.num_relations(), 6, 1.0);
+    train(
+        &mut transe,
+        &graph,
+        &TrainConfig { epochs: 2, learning_rate: 0.05, seed: 12, threads: Some(1) },
+    );
+    let path = scratch("foreign_family");
+    save_snapshot(&path, &transe).expect("save");
+
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut distmult = DistMult::new(&mut rng, graph.num_entities(), graph.num_relations(), 6);
+    let before = embedding_bits(&distmult, &graph);
+    let err = load_snapshot(&path, &mut distmult).expect_err("family mismatch must reject");
+    let msg = err.to_string();
+    assert!(msg.contains("kge."), "error should name the model ids: {msg}");
+    // Gather-then-commit: the rejected target is untouched.
+    assert_eq!(embedding_bits(&distmult, &graph), before);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Fits both persistable baselines on a tiny scenario and asserts their
+/// snapshot round-trips reproduce every user-item score bit for bit.
+#[test]
+fn baseline_snapshot_roundtrips_are_bit_identical() {
+    let synth = generate(&ScenarioConfig::tiny(), 42);
+    let split = ratio_split(&synth.dataset.interactions, 0.2, 1);
+    let ctx = TrainContext::new(&synth.dataset, &split.train);
+    let users = synth.dataset.interactions.num_users();
+    let items = synth.dataset.interactions.num_items();
+
+    let grid = |m: &dyn Recommender| -> Vec<u32> {
+        let mut out = Vec::new();
+        for u in 0..users.min(8) {
+            for i in 0..items {
+                out.push(
+                    m.score(kgrec_data::UserId(u as u32), kgrec_data::ItemId(i as u32)).to_bits(),
+                );
+            }
+        }
+        out
+    };
+
+    let mut pop = MostPop::new();
+    pop.fit(&ctx).expect("fit mostpop");
+    let path = scratch("mostpop");
+    save_snapshot(&path, &pop).expect("save");
+    let mut pop2 = MostPop::new();
+    load_snapshot(&path, &mut pop2).expect("load");
+    assert_eq!(grid(&pop2), grid(&pop), "MostPop");
+    let _ = std::fs::remove_file(&path);
+
+    let bpr_config = BprMfConfig { epochs: 5, ..Default::default() };
+    let mut bpr = BprMf::new(bpr_config.clone());
+    bpr.fit(&ctx).expect("fit bprmf");
+    let path = scratch("bprmf");
+    save_snapshot(&path, &bpr).expect("save");
+    let mut bpr2 = BprMf::new(bpr_config);
+    load_snapshot(&path, &mut bpr2).expect("load");
+    assert_eq!(grid(&bpr2), grid(&bpr), "BprMf");
+    let _ = std::fs::remove_file(&path);
+}

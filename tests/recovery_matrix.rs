@@ -1,0 +1,160 @@
+//! The recovery matrix: every storage fault × every recovery path, each
+//! cell proven graceful.
+//!
+//! Two layers are exercised for each [`kgrec_store::StorageFault`]:
+//!
+//! 1. **Store-level load** — a damaged store's `load_into` either
+//!    recovers an earlier verified generation or returns an error; it
+//!    never panics and never commits garbage into the live model.
+//!    Faults that corrupt the only snapshot must reject; faults that
+//!    only damage the bookkeeping hints (`MANIFEST`, `LAST_GOOD`) must
+//!    still recover by scanning generations.
+//! 2. **End-to-end drill** — train with per-epoch checkpointing, inject
+//!    the fault, "restart the process" with a freshly initialised model,
+//!    and require the resumed run to finish bit-identical to an
+//!    uninterrupted one. Snapshot-corrupting faults must fall back to
+//!    the previous good generation; hint-only faults must resume from
+//!    the newest.
+
+use kgrec_bench::storage_drill::run_storage_drill;
+use kgrec_graph::{KgBuilder, KnowledgeGraph};
+use kgrec_kge::trainer::{train, TrainConfig};
+use kgrec_kge::TransE;
+use kgrec_store::{inject_storage, CheckpointStore, StorageFault};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("kgrec_recovery_matrix_{}", std::process::id()))
+        .join(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn toy_graph() -> KnowledgeGraph {
+    let mut b = KgBuilder::new();
+    let ty = b.entity_type("t");
+    let es: Vec<_> = (0..8).map(|i| b.entity(&format!("e{i}"), ty)).collect();
+    let r = b.relation("r");
+    for i in 0..8 {
+        b.triple(es[i], r, es[(i + 1) % 8]);
+        b.triple(es[i], r, es[(i + 3) % 8]);
+    }
+    b.build(false)
+}
+
+fn trained_transe(graph: &KnowledgeGraph, seed: u64) -> TransE {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = TransE::new(&mut rng, graph.num_entities(), graph.num_relations(), 6, 1.0);
+    train(&mut m, graph, &TrainConfig { epochs: 2, learning_rate: 0.05, seed, threads: Some(1) });
+    m
+}
+
+/// Whether the fault damages snapshot bytes (as opposed to the
+/// `MANIFEST`/`LAST_GOOD` bookkeeping hints, which recovery treats as
+/// advisory).
+fn corrupts_snapshot(fault: StorageFault) -> bool {
+    !matches!(fault, StorageFault::MissingManifest | StorageFault::DanglingLastGood)
+}
+
+/// Store-level row: with a single saved generation, every fault's
+/// `load_into` must complete without a panic; snapshot-corrupting faults
+/// reject (and leave the live model untouched), hint-only faults recover
+/// generation 1 by scanning.
+#[test]
+fn single_generation_load_never_panics_and_never_commits_garbage() {
+    let graph = toy_graph();
+    for fault in StorageFault::all() {
+        let dir = scratch(&format!("single_{}", fault.label()));
+        let store = CheckpointStore::open(&dir).expect("open");
+        let saved = trained_transe(&graph, 5);
+        store.save(&saved, "only generation").expect("save");
+        inject_storage(&store, fault).expect("inject");
+
+        let pristine = trained_transe(&graph, 900);
+        let before: Vec<u32> = pristine.entities().data().iter().map(|x| x.to_bits()).collect();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut target = pristine;
+            let result = store.load_into(&mut target).map(|r| r.generation);
+            (target, result)
+        }));
+        let (target, result) =
+            outcome.unwrap_or_else(|_| panic!("load under fault `{}` panicked", fault.label()));
+        let after: Vec<u32> = target.entities().data().iter().map(|x| x.to_bits()).collect();
+        if corrupts_snapshot(fault) {
+            assert!(result.is_err(), "fault `{}` must reject its snapshot", fault.label());
+            assert_eq!(after, before, "fault `{}` leaked bytes into the model", fault.label());
+        } else {
+            assert_eq!(
+                result.ok(),
+                Some(1),
+                "hint-only fault `{}` must still recover by scanning",
+                fault.label()
+            );
+            let reference: Vec<u32> =
+                trained_transe(&graph, 5).entities().data().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(after, reference, "fault `{}` restored wrong bits", fault.label());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Store-level row with history: two generations saved, the fault hits
+/// the newest — recovery must fall back to generation 1 (or, for
+/// hint-only faults, still find generation 2).
+#[test]
+fn damaged_newest_generation_falls_back_to_previous() {
+    let graph = toy_graph();
+    for fault in StorageFault::all() {
+        let dir = scratch(&format!("fallback_{}", fault.label()));
+        let store = CheckpointStore::open(&dir).expect("open");
+        let older = trained_transe(&graph, 21);
+        let newer = trained_transe(&graph, 22);
+        store.save(&older, "older").expect("save older");
+        store.save(&newer, "newer").expect("save newer");
+        inject_storage(&store, fault).expect("inject");
+
+        let mut target = trained_transe(&graph, 901);
+        let recovery = store
+            .load_into(&mut target)
+            .unwrap_or_else(|e| panic!("fault `{}` left no usable generation: {e}", fault.label()));
+        let expected_gen = if corrupts_snapshot(fault) { 1 } else { 2 };
+        assert_eq!(recovery.generation, expected_gen, "fault `{}`", fault.label());
+        let reference = if corrupts_snapshot(fault) { older } else { newer };
+        for (a, b) in reference.entities().data().iter().zip(target.entities().data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "fault `{}`", fault.label());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// End-to-end row: the full train → corrupt → restart drill. Every fault
+/// recovers without a panic and finishes bit-identical to an
+/// uninterrupted run; snapshot-corrupting faults resume one generation
+/// back, hint-only faults resume from the newest.
+#[test]
+fn end_to_end_drill_recovers_from_every_fault() {
+    let root = scratch("drill");
+    let mut lines = Vec::new();
+    for fault in StorageFault::all() {
+        let outcome = run_storage_drill(fault, &root.join(fault.label()));
+        lines.push(outcome.describe());
+        assert!(outcome.passed(), "{}", outcome.describe());
+        assert!(outcome.resumed_from.is_some(), "{}", outcome.describe());
+        // The drill trains 6 epochs (one generation each). A damaged
+        // newest generation costs exactly one epoch of recomputation;
+        // damaged hints cost nothing.
+        let expected_epoch = if corrupts_snapshot(fault) { 5 } else { 6 };
+        assert_eq!(
+            outcome.start_epoch,
+            expected_epoch,
+            "fault `{}` resumed from the wrong epoch:\n{}",
+            fault.label(),
+            lines.join("\n")
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
