@@ -50,7 +50,8 @@ pub enum Subject {
     Entity(u32),
     /// A relation type.
     Relation(u32),
-    /// A stored triple, by index into `graph.triples()`.
+    /// A stored triple, by index into the head-major sorted fact order
+    /// (`graph.triple_at(i)` / `graph.iter_triples()`).
     Triple(usize),
     /// An item.
     Item(u32),

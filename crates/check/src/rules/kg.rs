@@ -26,7 +26,7 @@ impl Rule for DanglingIds {
         let g = &bundle.dataset.graph;
         let (ne, nr) = (g.num_entities(), g.num_relations());
         let mut out = Vec::new();
-        for (i, t) in g.triples().iter().enumerate() {
+        for (i, t) in g.iter_triples().enumerate() {
             if t.head.index() >= ne {
                 out.push(Diagnostic::new(
                     self.code(),
@@ -72,20 +72,19 @@ impl Rule for DuplicateTriples {
     }
 
     fn check(&self, bundle: &CheckBundle<'_>) -> Vec<Diagnostic> {
-        // triples() is sorted head-major, so duplicates are adjacent.
-        let triples = bundle.dataset.graph.triples();
-        triples
-            .windows(2)
-            .enumerate()
-            .filter(|(_, w)| w[0] == w[1])
-            .map(|(i, w)| {
+        // Triples iterate sorted head-major, so duplicates are adjacent.
+        let g = &bundle.dataset.graph;
+        (1..g.num_triples())
+            .filter(|&i| g.triple_at(i - 1) == g.triple_at(i))
+            .map(|i| {
+                let t = g.triple_at(i);
                 Diagnostic::new(
                     self.code(),
                     Severity::Warning,
-                    Subject::Triple(i + 1),
+                    Subject::Triple(i),
                     format!(
                         "duplicate fact <{}, {}, {}>; edge weight is silently doubled",
-                        w[1].head.0, w[1].rel.0, w[1].tail.0
+                        t.head.0, t.rel.0, t.tail.0
                     ),
                 )
             })
@@ -170,7 +169,7 @@ impl Rule for IsolatedItems {
         let ds = bundle.dataset;
         let g = &ds.graph;
         let mut in_degree = vec![0usize; g.num_entities()];
-        for t in g.triples() {
+        for t in g.iter_triples() {
             if t.tail.index() < in_degree.len() {
                 in_degree[t.tail.index()] += 1;
             }

@@ -7,12 +7,14 @@
 //! [`registry_rule_is_clean_on_the_shipped_tables`] instead.
 
 use kgrec_check::rules::{self, Rule};
-use kgrec_check::{CheckBundle, CheckReport, HyperParam, Severity};
+use kgrec_check::{CheckBundle, CheckReport, HyperParam, Severity, Subject};
 use kgrec_data::negative::LabeledPair;
 use kgrec_data::split::{ratio_split, Split};
 use kgrec_data::synth::{generate, ScenarioConfig, SyntheticDataset};
-use kgrec_data::{Interaction, InteractionMatrix, ItemId, KgDataset, UserId};
-use kgrec_graph::{EntityId, KnowledgeGraph, RelationId, Triple};
+use kgrec_data::{
+    ColumnarInteractions, Interaction, InteractionMatrix, ItemId, KgDataset, ShardPlan, UserId,
+};
+use kgrec_graph::{CsrAdjacency, EntityId, KnowledgeGraph, RelationId, Triple};
 use std::collections::BTreeSet;
 
 fn tiny() -> SyntheticDataset {
@@ -34,7 +36,7 @@ fn rebuild_graph(g: &KnowledgeGraph, mutate: impl FnOnce(&mut Vec<Triple>)) -> K
         .collect();
     let relation_names: Vec<String> =
         (0..g.num_relations()).map(|r| g.relation_name(RelationId(r as u32)).to_owned()).collect();
-    let mut triples = g.triples().to_vec();
+    let mut triples: Vec<Triple> = g.iter_triples().collect();
     mutate(&mut triples);
     KnowledgeGraph::from_parts(
         entity_names,
@@ -62,7 +64,7 @@ fn kg001_fires_on_dangling_tail_and_relation() {
 #[test]
 fn kg002_fires_on_duplicate_triple() {
     let mut synth = tiny();
-    let dup = synth.dataset.graph.triples()[0];
+    let dup = synth.dataset.graph.triple_at(0);
     synth.dataset.graph = rebuild_graph(&synth.dataset.graph, |t| t.push(dup));
     let fired = codes(&CheckBundle::new(&synth.dataset));
     assert!(fired.contains("KG002"), "fired: {fired:?}");
@@ -137,7 +139,7 @@ fn kg005_fires_on_entity_beyond_hop_budget() {
         type_names,
         relation_names,
         synth.dataset.graph.num_base_relations(),
-        synth.dataset.graph.triples().to_vec(),
+        synth.dataset.graph.iter_triples().collect(),
     );
     let fired = codes(&CheckBundle::new(&synth.dataset));
     assert!(fired.contains("KG005"), "fired: {fired:?}");
@@ -265,6 +267,131 @@ fn md004_fires_on_non_finite_float_buffer() {
     assert!(fired.contains("MD004"), "fired: {fired:?}");
 }
 
+/// Tears a matrix down to its raw columns so a test can reassemble them
+/// with one corruption through the unchecked `from_raw_parts` path.
+#[allow(clippy::type_complexity)]
+fn raw_columns(
+    m: &InteractionMatrix,
+) -> (Vec<u32>, Vec<ItemId>, Vec<f32>, Vec<u64>, Vec<u32>, Vec<UserId>) {
+    let c = m.columnar();
+    let u_offsets = c.u_offsets().to_vec();
+    let mut items = Vec::new();
+    let mut ratings = Vec::new();
+    let mut timestamps = Vec::new();
+    for u in 0..c.num_users() {
+        let user = UserId(u as u32);
+        items.extend_from_slice(c.items_of(user));
+        ratings.extend_from_slice(c.ratings_of(user));
+        timestamps.extend_from_slice(c.timestamps_of(user));
+    }
+    let mut i_offsets = vec![0u32; c.num_items() + 1];
+    let mut i_users = Vec::new();
+    for i in 0..c.num_items() {
+        let item = ItemId(i as u32);
+        i_offsets[i + 1] = i_offsets[i] + c.item_degree(item) as u32;
+        i_users.extend_from_slice(c.users_of(item));
+    }
+    (u_offsets, items, ratings, timestamps, i_offsets, i_users)
+}
+
+/// Runs MD007 alone so the diagnostic set is exact.
+fn md007_diags(bundle: &CheckBundle<'_>) -> Vec<kgrec_check::Diagnostic> {
+    CheckReport::run_rules(bundle, &[Box::new(rules::ShardIntegrity) as Box<dyn Rule>]).diagnostics
+}
+
+#[test]
+fn md007_fires_on_unsorted_user_history() {
+    let mut synth = tiny();
+    let (u_offsets, mut items, ratings, timestamps, i_offsets, i_users) =
+        raw_columns(&synth.dataset.interactions);
+    let n_users = synth.dataset.interactions.num_users();
+    let n_items = synth.dataset.interactions.num_items();
+    // Swap the first two rows of some multi-row user: the history is no
+    // longer strictly increasing, everything else stays intact.
+    let u = (0..n_users)
+        .find(|&u| u_offsets[u + 1] - u_offsets[u] >= 2)
+        .expect("tiny has a multi-row user");
+    let s = u_offsets[u] as usize;
+    items.swap(s, s + 1);
+    synth.dataset.interactions =
+        InteractionMatrix::from_columnar(ColumnarInteractions::from_raw_parts(
+            n_users, n_items, u_offsets, items, ratings, timestamps, i_offsets, i_users,
+        ));
+    let diags = md007_diags(&CheckBundle::new(&synth.dataset));
+    assert_eq!(diags.len(), 1, "diags: {diags:?}");
+    assert_eq!(diags[0].code, "MD007");
+    assert_eq!(diags[0].subject, Subject::User(u as u32));
+    assert!(
+        diags[0].message.contains("interaction store")
+            && diags[0].message.contains("not strictly increasing"),
+        "message: {}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn md007_fires_on_non_monotone_user_offsets() {
+    let mut synth = tiny();
+    let (mut u_offsets, items, ratings, timestamps, i_offsets, i_users) =
+        raw_columns(&synth.dataset.interactions);
+    let n_users = synth.dataset.interactions.num_users();
+    let n_items = synth.dataset.interactions.num_items();
+    u_offsets[1] = u_offsets[n_users]; // offset array now decreases at index 1
+    synth.dataset.interactions =
+        InteractionMatrix::from_columnar(ColumnarInteractions::from_raw_parts(
+            n_users, n_items, u_offsets, items, ratings, timestamps, i_offsets, i_users,
+        ));
+    let diags = md007_diags(&CheckBundle::new(&synth.dataset));
+    assert_eq!(diags.len(), 1, "diags: {diags:?}");
+    assert_eq!(diags[0].subject, Subject::User(1));
+    assert!(diags[0].message.contains("offset array decreases"), "message: {}", diags[0].message);
+}
+
+#[test]
+fn md007_fires_on_out_of_range_csr_tail() {
+    let mut synth = tiny();
+    let ne = synth.dataset.graph.num_entities();
+    let mut triples: Vec<Triple> = synth.dataset.graph.iter_triples().collect();
+    triples[0].tail = EntityId(ne as u32 + 9);
+    synth.dataset.graph.set_adjacency_unchecked(CsrAdjacency::from_sorted_triples(ne, &triples));
+    let diags = md007_diags(&CheckBundle::new(&synth.dataset));
+    assert_eq!(diags.len(), 1, "diags: {diags:?}");
+    assert_eq!(diags[0].code, "MD007");
+    assert_eq!(diags[0].subject, Subject::Triple(0));
+    assert!(
+        diags[0].message.contains("adjacency") && diags[0].message.contains("out of entity range"),
+        "message: {}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn md007_fires_on_shard_plan_splitting_a_user() {
+    let synth = tiny();
+    let split = ratio_split(&synth.dataset.interactions, 0.2, 11);
+    let good = ShardPlan::balanced(split.train.columnar(), 3);
+
+    // Sanity: the intact plan passes the whole default rule set.
+    let clean = CheckBundle::new(&synth.dataset).with_split(&split).with_shard_plan(&good);
+    assert!(!codes(&clean).contains("MD007"), "clean plan tripped MD007");
+
+    let mut rows = good.row_bounds().to_vec();
+    rows[1] += 1; // cut through the boundary user's history
+    let bad = ShardPlan::from_raw_parts(good.num_users(), good.user_bounds().to_vec(), rows);
+    let bundle = CheckBundle::new(&synth.dataset).with_split(&split).with_shard_plan(&bad);
+    assert!(codes(&bundle).contains("MD007"));
+
+    let diags = md007_diags(&bundle);
+    assert_eq!(diags.len(), 1, "diags: {diags:?}");
+    assert_eq!(diags[0].subject, Subject::User(good.user_bounds()[1]));
+    assert!(
+        diags[0].message.contains("shard plan")
+            && diags[0].message.contains("splits a user across shards"),
+        "message: {}",
+        diags[0].message
+    );
+}
+
 #[test]
 fn registry_rule_is_clean_on_the_shipped_tables() {
     let synth = tiny();
@@ -337,10 +464,17 @@ fn at_least_eight_rules_demonstrably_fire() {
             .with_float_audit("loss", &nan), // MD004
     ));
 
+    // Data layout: a shard plan that splits a user (MD007).
+    let good = ShardPlan::balanced(synth.dataset.interactions.columnar(), 3);
+    let mut rows = good.row_bounds().to_vec();
+    rows[1] += 1;
+    let torn = ShardPlan::from_raw_parts(good.num_users(), good.user_bounds().to_vec(), rows);
+    fired.extend(codes(&CheckBundle::new(&synth.dataset).with_shard_plan(&torn)));
+
     assert!(fired.len() >= 8, "only {} distinct rules fired: {:?}", fired.len(), fired);
     for code in [
         "KG001", "KG002", "KG003", "KG004", "DS001", "DS002", "DS003", "DS004", "MD002", "MD003",
-        "MD004",
+        "MD004", "MD007",
     ] {
         assert!(fired.contains(code), "{code} never fired; fired: {fired:?}");
     }

@@ -15,6 +15,7 @@
 use crate::metrics;
 use crate::recommender::Recommender;
 use kgrec_data::negative::LabeledPair;
+use kgrec_data::shard::{even_ranges, ShardPlan};
 use kgrec_data::{InteractionMatrix, UserId};
 use kgrec_linalg::par;
 
@@ -82,8 +83,8 @@ pub fn evaluate_ctr_par<M: Recommender + ?Sized>(
         // Chunked so the per-item pool overhead amortizes over cheap
         // score calls; chunk boundaries cannot affect results because
         // scoring is per-pair and reassembly is in input order.
-        let chunk = pairs.len().div_ceil(threads * 4).max(1);
-        let chunks: Vec<&[LabeledPair]> = pairs.chunks(chunk).collect();
+        let chunks: Vec<&[LabeledPair]> =
+            even_ranges(pairs.len(), threads * 4).into_iter().map(|r| &pairs[r]).collect();
         par::par_map(&chunks, threads, |_, c| c.iter().map(score_one).collect::<Vec<_>>())
             .into_iter()
             .flatten()
@@ -112,11 +113,13 @@ pub fn evaluate_topk<M: Recommender + ?Sized>(
 
 /// Runs the full-ranking top-K protocol on up to `threads` workers.
 ///
-/// Users are sharded across the pool; each worker ranks its users and
-/// computes their per-user metric contributions independently. The mean
-/// reduction then folds contributions serially in ascending user order —
-/// exactly the serial loop's accumulation order — so every metric is
-/// bit-identical to [`evaluate_topk`] regardless of thread count.
+/// The test matrix is cut into [`ShardPlan::balanced`] user-range shards
+/// (balanced by test-row count, never splitting a user); each worker
+/// ranks its shard's users and computes their per-user metric
+/// contributions independently. Shards are flattened in shard order —
+/// ascending user order, exactly the serial loop's accumulation order —
+/// before the serial mean reduction, so every metric is bit-identical to
+/// [`evaluate_topk`] regardless of thread or shard count.
 pub fn evaluate_topk_par<M: Recommender + ?Sized>(
     model: &M,
     train: &InteractionMatrix,
@@ -125,11 +128,10 @@ pub fn evaluate_topk_par<M: Recommender + ?Sized>(
     threads: usize,
 ) -> TopKReport {
     let max_k = ks.iter().copied().max().unwrap_or(0);
-    let user_ids: Vec<u32> = (0..test.num_users() as u32).collect();
     // Per-user contribution: [precision, recall, ndcg, hit] per cutoff,
     // plus MRR. `None` marks users without test positives.
     type UserContribution = Option<(Vec<[f64; 4]>, f64)>;
-    let per_user: Vec<UserContribution> = par::par_map(&user_ids, threads, |_, &u| {
+    let contribute = |u: u32| -> UserContribution {
         let user = UserId(u);
         let relevant: Vec<u32> = test.items_of(user).iter().map(|i| i.0).collect();
         if relevant.is_empty() {
@@ -150,11 +152,16 @@ pub fn evaluate_topk_par<M: Recommender + ?Sized>(
             })
             .collect();
         Some((cutoffs, metrics::mrr(&ranked, &relevant)))
-    });
+    };
+    // Over-shard 4x so row-imbalanced shards still keep workers busy.
+    let plan = ShardPlan::balanced(test.columnar(), threads.max(1) * 4);
+    let shard_ids: Vec<usize> = (0..plan.num_shards()).collect();
+    let per_shard: Vec<Vec<UserContribution>> =
+        par::par_map(&shard_ids, threads, |_, &s| plan.user_range(s).map(contribute).collect());
     let mut sums: Vec<[f64; 4]> = vec![[0.0; 4]; ks.len()];
     let mut mrr_sum = 0.0f64;
     let mut users = 0usize;
-    for (cutoffs, mrr) in per_user.into_iter().flatten() {
+    for (cutoffs, mrr) in per_shard.into_iter().flatten().flatten() {
         users += 1;
         for (sum, contribution) in sums.iter_mut().zip(cutoffs) {
             for (s, c) in sum.iter_mut().zip(contribution) {

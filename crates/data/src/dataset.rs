@@ -140,7 +140,7 @@ impl KgDataset {
         for r in 0..g.num_relations() {
             b.relation(g.relation_name(RelationId(id32(r))));
         }
-        for t in g.triples() {
+        for t in g.iter_triples() {
             b.triple(t.head, t.rel, t.tail);
         }
         let user_ty = b.entity_type("user");

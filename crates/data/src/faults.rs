@@ -122,8 +122,7 @@ pub fn inject(dataset: &mut KgDataset, fault: Fault) {
         }
         Fault::DuplicateTriples => {
             let quarter = dataset.graph.num_triples() / 4 + 1;
-            let extra: Vec<Triple> =
-                dataset.graph.triples().iter().take(quarter).copied().collect();
+            let extra: Vec<Triple> = dataset.graph.iter_triples().take(quarter).collect();
             dataset.graph = rebuild_with(&dataset.graph, extra);
         }
         Fault::NanRatings => {
@@ -209,7 +208,7 @@ fn rebuild_with(graph: &KnowledgeGraph, extra: Vec<Triple>) -> KnowledgeGraph {
     let relation_names: Vec<String> = (0..graph.num_relations())
         .map(|r| graph.relation_name(RelationId(id32(r))).to_owned())
         .collect();
-    let mut triples = graph.triples().to_vec();
+    let mut triples: Vec<Triple> = graph.iter_triples().collect();
     triples.extend(extra);
     KnowledgeGraph::from_parts(
         entity_names,
@@ -262,7 +261,7 @@ mod tests {
         inject(&mut d, Fault::SelfLoopTriples);
         assert!(d.graph.num_triples() > before);
         let loops =
-            d.graph.triples().iter().filter(|t| t.head == t.tail && t.rel == RelationId(0)).count();
+            d.graph.iter_triples().filter(|t| t.head == t.tail && t.rel == RelationId(0)).count();
         assert!(loops >= d.item_entities.len() / 5, "only {loops} self-loops");
     }
 
@@ -273,7 +272,7 @@ mod tests {
         inject(&mut d, Fault::DuplicateTriples);
         assert_eq!(d.graph.num_triples(), before + before / 4 + 1);
         // At least one adjacent pair in the sorted list is identical.
-        let ts = d.graph.triples();
+        let ts: Vec<Triple> = d.graph.iter_triples().collect();
         assert!(ts.windows(2).any(|w| w[0] == w[1]));
     }
 

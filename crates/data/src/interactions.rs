@@ -1,11 +1,13 @@
 //! The user feedback matrix `R` (survey Section 3).
 //!
 //! `R_{ij} = 1` when an implicit interaction between user `u_i` and item
-//! `v_j` was observed. [`InteractionMatrix`] stores the observed entries in
-//! compressed sparse row form twice — user-major and item-major — because
-//! the models scan both directions (user histories for preference
-//! propagation, item audiences for ItemKNN and diffusion).
+//! `v_j` was observed. [`InteractionMatrix`] is a facade over the columnar
+//! store of [`crate::columnar`]: sorted user/item/rating/timestamp columns
+//! behind per-user `u32` offsets, plus an item-major index — the models
+//! scan both directions (user histories for preference propagation, item
+//! audiences for ItemKNN and diffusion).
 
+use crate::columnar::ColumnarInteractions;
 use crate::ids::{ItemId, UserId};
 use kgrec_graph::id32;
 
@@ -36,24 +38,17 @@ impl Interaction {
     }
 }
 
-/// The binary feedback matrix `R ∈ {0,1}^{m×n}` with optional ratings.
+/// The binary feedback matrix `R ∈ {0,1}^{m×n}` with optional ratings,
+/// stored columnar (see [`ColumnarInteractions`]).
 #[derive(Debug, Clone)]
 pub struct InteractionMatrix {
-    num_users: usize,
-    num_items: usize,
-    // User-major CSR.
-    u_offsets: Vec<usize>,
-    u_items: Vec<ItemId>,
-    u_ratings: Vec<f32>, // NaN when implicit
-    // Item-major CSR.
-    i_offsets: Vec<usize>,
-    i_users: Vec<UserId>,
+    cols: ColumnarInteractions,
 }
 
 impl InteractionMatrix {
     /// Builds the matrix from interactions. Duplicate `(user, item)` pairs
-    /// are collapsed (last rating wins after sorting, which is
-    /// deterministic for a fixed input order because the sort is stable).
+    /// are collapsed keeping the first occurrence of the input order
+    /// (stable sort + first-wins dedup, deterministic for a fixed input).
     ///
     /// # Panics
     /// Panics if any interaction references a user or item out of range.
@@ -62,96 +57,78 @@ impl InteractionMatrix {
         num_items: usize,
         interactions: &[Interaction],
     ) -> Self {
-        for it in interactions {
-            assert!(it.user.index() < num_users, "interaction user out of range");
-            assert!(it.item.index() < num_items, "interaction item out of range");
-        }
-        let mut sorted: Vec<&Interaction> = interactions.iter().collect();
-        sorted.sort_by_key(|it| (it.user.0, it.item.0));
-        sorted.dedup_by_key(|it| (it.user.0, it.item.0));
+        Self { cols: ColumnarInteractions::from_interactions(num_users, num_items, interactions) }
+    }
 
-        let mut u_offsets = vec![0usize; num_users + 1];
-        for it in &sorted {
-            u_offsets[it.user.index() + 1] += 1;
-        }
-        for i in 0..num_users {
-            u_offsets[i + 1] += u_offsets[i];
-        }
-        let u_items: Vec<ItemId> = sorted.iter().map(|it| it.item).collect();
-        let u_ratings: Vec<f32> = sorted.iter().map(|it| it.rating.unwrap_or(f32::NAN)).collect();
-
-        let mut by_item: Vec<(ItemId, UserId)> =
-            sorted.iter().map(|it| (it.item, it.user)).collect();
-        by_item.sort_by_key(|&(i, u)| (i.0, u.0));
-        let mut i_offsets = vec![0usize; num_items + 1];
-        for &(i, _) in &by_item {
-            i_offsets[i.index() + 1] += 1;
-        }
-        for i in 0..num_items {
-            i_offsets[i + 1] += i_offsets[i];
-        }
-        let i_users: Vec<UserId> = by_item.iter().map(|&(_, u)| u).collect();
-
-        Self { num_users, num_items, u_offsets, u_items, u_ratings, i_offsets, i_users }
+    /// Wraps an already-built columnar store (the streaming generators and
+    /// the ingest path construct columns directly).
+    pub fn from_columnar(cols: ColumnarInteractions) -> Self {
+        Self { cols }
     }
 
     /// Number of users `m`.
     pub fn num_users(&self) -> usize {
-        self.num_users
+        self.cols.num_users()
     }
 
     /// Number of items `n`.
     pub fn num_items(&self) -> usize {
-        self.num_items
+        self.cols.num_items()
     }
 
     /// Number of observed interactions `|R|`.
     pub fn num_interactions(&self) -> usize {
-        self.u_items.len()
+        self.cols.num_rows()
     }
 
     /// Density `|R| / (m·n)`.
     pub fn density(&self) -> f64 {
-        if self.num_users == 0 || self.num_items == 0 {
+        if self.num_users() == 0 || self.num_items() == 0 {
             0.0
         } else {
-            self.num_interactions() as f64 / (self.num_users * self.num_items) as f64
+            self.num_interactions() as f64 / (self.num_users() * self.num_items()) as f64
         }
     }
 
     /// Items interacted by `user`, sorted by item id.
     pub fn items_of(&self, user: UserId) -> &[ItemId] {
-        &self.u_items[self.u_offsets[user.index()]..self.u_offsets[user.index() + 1]]
+        self.cols.items_of(user)
     }
 
     /// Ratings aligned with [`Self::items_of`] (`NaN` for implicit entries).
     pub fn ratings_of(&self, user: UserId) -> &[f32] {
-        &self.u_ratings[self.u_offsets[user.index()]..self.u_offsets[user.index() + 1]]
+        self.cols.ratings_of(user)
+    }
+
+    /// Timestamps aligned with [`Self::items_of`]
+    /// ([`crate::columnar::NO_TIMESTAMP`] for rows without an event time).
+    pub fn timestamps_of(&self, user: UserId) -> &[u64] {
+        self.cols.timestamps_of(user)
     }
 
     /// Users who interacted with `item`, sorted by user id.
     pub fn users_of(&self, item: ItemId) -> &[UserId] {
-        &self.i_users[self.i_offsets[item.index()]..self.i_offsets[item.index() + 1]]
+        self.cols.users_of(item)
     }
 
     /// Whether `R_{user,item} = 1`.
     pub fn contains(&self, user: UserId, item: ItemId) -> bool {
-        self.items_of(user).binary_search(&item).is_ok()
+        self.cols.contains(user, item)
     }
 
     /// Out-degree of a user (history length).
     pub fn user_degree(&self, user: UserId) -> usize {
-        self.u_offsets[user.index() + 1] - self.u_offsets[user.index()]
+        self.cols.user_degree(user)
     }
 
     /// Popularity of an item (audience size).
     pub fn item_degree(&self, item: ItemId) -> usize {
-        self.i_offsets[item.index() + 1] - self.i_offsets[item.index()]
+        self.cols.item_degree(item)
     }
 
     /// Iterates over all `(user, item, rating)` triples, user-major.
     pub fn iter(&self) -> impl Iterator<Item = (UserId, ItemId, f32)> + '_ {
-        (0..self.num_users).flat_map(move |u| {
+        (0..self.num_users()).flat_map(move |u| {
             let user = UserId(id32(u));
             self.items_of(user)
                 .iter()
@@ -162,7 +139,20 @@ impl InteractionMatrix {
 
     /// Item popularity vector, length `n`.
     pub fn item_popularity(&self) -> Vec<usize> {
-        (0..self.num_items).map(|i| self.item_degree(ItemId(id32(i)))).collect()
+        (0..self.num_items()).map(|i| self.item_degree(ItemId(id32(i)))).collect()
+    }
+
+    /// Merges an interaction batch into a new matrix: existing rows win
+    /// over appended rows, first occurrence wins within the batch — the
+    /// incremental-ingest entry point (see [`ColumnarInteractions::append`]).
+    pub fn append(&self, batch: &[Interaction]) -> Self {
+        Self { cols: self.cols.append(batch) }
+    }
+
+    /// The underlying columnar store (sharding, integrity checks, and
+    /// byte-identity digests read it directly).
+    pub fn columnar(&self) -> &ColumnarInteractions {
+        &self.cols
     }
 }
 
@@ -254,5 +244,17 @@ mod tests {
     fn popularity_vector() {
         let m = toy();
         assert_eq!(m.item_popularity(), vec![1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn append_merges_batches() {
+        let m = toy();
+        let grown = m.append(&[
+            Interaction::implicit(UserId(1), ItemId(2)),
+            Interaction::rated(UserId(0), ItemId(3), 1.0), // loses to existing
+        ]);
+        assert_eq!(grown.num_interactions(), 5);
+        assert_eq!(grown.items_of(UserId(1)), &[ItemId(2)]);
+        assert_eq!(grown.ratings_of(UserId(0))[1], 5.0);
     }
 }

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)] // generator loops index parallel tables
 
+pub mod columnar;
 pub mod dataset;
 pub mod faults;
 pub mod ids;
@@ -34,11 +35,14 @@ pub mod interactions;
 pub mod loader;
 pub mod negative;
 pub mod registry;
+pub mod shard;
 pub mod split;
 pub mod synth;
 
+pub use columnar::{ColumnarBuilder, ColumnarInteractions};
 pub use dataset::KgDataset;
 pub use faults::{inject, Fault};
 pub use ids::{ItemId, UserId};
 pub use interactions::{Interaction, InteractionMatrix};
+pub use shard::{EntityShard, ShardPlan, ShardViolation, ShardedDataset, UserShard};
 pub use synth::{ScenarioConfig, SyntheticDataset};

@@ -1,0 +1,450 @@
+//! Range sharding over the columnar data layer.
+//!
+//! A [`ShardPlan`] cuts the user id space into contiguous ranges on user
+//! boundaries — never through the middle of a user's history — balanced
+//! by row count so each shard carries a comparable amount of work. The
+//! same boundary discipline applies to entities of the KG adjacency via
+//! [`ShardedDataset::entity_shard`]. Shards are *views*: no rows are
+//! copied, and concatenating shard iteration in shard order replays the
+//! unsharded order exactly (the property the equivalence proptests pin),
+//! which is why the parallel evaluation protocols can consume shards and
+//! stay bit-identical to the serial path.
+
+use crate::columnar::ColumnarInteractions;
+use crate::dataset::KgDataset;
+use crate::ids::{ItemId, UserId};
+use crate::interactions::InteractionMatrix;
+use kgrec_graph::csr::CsrAdjacency;
+use kgrec_graph::{id32, EntityId, KnowledgeGraph, Triple};
+
+/// A partition of `0..num_users` into contiguous shards on user
+/// boundaries, with the matching row boundaries cached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    num_users: usize,
+    /// User boundaries, length `num_shards + 1`: shard `s` covers users
+    /// `user_bounds[s]..user_bounds[s + 1]`.
+    user_bounds: Vec<u32>,
+    /// Row boundaries aligned with `user_bounds`: shard `s` covers rows
+    /// `row_bounds[s]..row_bounds[s + 1]`. Each entry must equal
+    /// `u_offsets[user_bounds[s]]` — that equality IS the "no user split
+    /// across shards" invariant kglint MD007 checks.
+    row_bounds: Vec<u32>,
+}
+
+/// One defect found by [`ShardPlan::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardViolation {
+    /// The boundary arrays have differing lengths or are empty.
+    BoundsShape {
+        /// `(user_bounds, row_bounds)` lengths.
+        lengths: (usize, usize),
+    },
+    /// `user_bounds` does not start at 0 or end at `num_users`.
+    Coverage {
+        /// First boundary.
+        first: u32,
+        /// Last boundary.
+        last: u32,
+    },
+    /// `user_bounds[index] > user_bounds[index + 1]`.
+    NotMonotone {
+        /// First index of the decreasing pair.
+        index: usize,
+    },
+    /// Shard boundary `index` cuts through a user's history:
+    /// `row_bounds[index] != u_offsets[user_bounds[index]]`.
+    UserSplitAcrossShards {
+        /// Offending boundary index.
+        index: usize,
+        /// The row boundary recorded in the plan.
+        got: u32,
+        /// The row the user boundary actually starts at.
+        want: u32,
+    },
+}
+
+impl std::fmt::Display for ShardViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardViolation::BoundsShape { lengths } => {
+                write!(
+                    f,
+                    "boundary arrays disagree: {} user bounds, {} row bounds",
+                    lengths.0, lengths.1
+                )
+            }
+            ShardViolation::Coverage { first, last } => {
+                write!(f, "plan covers users {first}..{last}, not the full id space")
+            }
+            ShardViolation::NotMonotone { index } => {
+                write!(f, "user bounds decrease at index {index}")
+            }
+            ShardViolation::UserSplitAcrossShards { index, got, want } => {
+                write!(
+                    f,
+                    "boundary {index} splits a user across shards: row bound {got}, user starts at row {want}"
+                )
+            }
+        }
+    }
+}
+
+impl ShardPlan {
+    /// Cuts `cols` into at most `shards` contiguous user ranges balanced
+    /// by row count. Boundaries always land on user boundaries; a shard
+    /// may be empty when users are fewer than shards. Deterministic.
+    pub fn balanced(cols: &ColumnarInteractions, shards: usize) -> Self {
+        let user_bounds = balanced_bounds(cols.u_offsets(), shards);
+        let row_bounds = user_bounds.iter().map(|&u| cols.u_offsets()[u as usize]).collect();
+        Self { num_users: cols.num_users(), user_bounds, row_bounds }
+    }
+
+    /// Assembles a plan from raw boundary arrays with **no validation** —
+    /// the kglint `MD007` corrupted fixtures construct broken plans here.
+    pub fn from_raw_parts(num_users: usize, user_bounds: Vec<u32>, row_bounds: Vec<u32>) -> Self {
+        Self { num_users, user_bounds, row_bounds }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.user_bounds.len().saturating_sub(1)
+    }
+
+    /// Number of users the plan spans.
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// The user id range of shard `s`.
+    pub fn user_range(&self, s: usize) -> std::ops::Range<u32> {
+        self.user_bounds[s]..self.user_bounds[s + 1]
+    }
+
+    /// The row range of shard `s`.
+    pub fn row_range(&self, s: usize) -> std::ops::Range<usize> {
+        self.row_bounds[s] as usize..self.row_bounds[s + 1] as usize
+    }
+
+    /// Raw user boundaries (length `num_shards + 1`).
+    pub fn user_bounds(&self) -> &[u32] {
+        &self.user_bounds
+    }
+
+    /// Raw row boundaries (length `num_shards + 1`).
+    pub fn row_bounds(&self) -> &[u32] {
+        &self.row_bounds
+    }
+
+    /// Integrity scan against the store the plan partitions: boundary
+    /// shape, full coverage, monotonicity, and the no-user-split
+    /// invariant. Returns every defect found (empty = sound).
+    pub fn validate(&self, cols: &ColumnarInteractions) -> Vec<ShardViolation> {
+        let mut out = Vec::new();
+        if self.user_bounds.len() != self.row_bounds.len() || self.user_bounds.len() < 2 {
+            out.push(ShardViolation::BoundsShape {
+                lengths: (self.user_bounds.len(), self.row_bounds.len()),
+            });
+            return out;
+        }
+        let first = self.user_bounds[0];
+        let last = *self.user_bounds.last().expect("len >= 2");
+        if first != 0 || last as usize != cols.num_users() {
+            out.push(ShardViolation::Coverage { first, last });
+        }
+        for i in 0..self.user_bounds.len() - 1 {
+            if self.user_bounds[i] > self.user_bounds[i + 1] {
+                out.push(ShardViolation::NotMonotone { index: i });
+            }
+        }
+        if !out.is_empty() {
+            return out;
+        }
+        for (i, &u) in self.user_bounds.iter().enumerate() {
+            let want = cols.u_offsets()[u as usize];
+            if self.row_bounds[i] != want {
+                out.push(ShardViolation::UserSplitAcrossShards {
+                    index: i,
+                    got: self.row_bounds[i],
+                    want,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Balanced contiguous partition of a CSR offset array: returns
+/// `parts + 1` boundaries over `0..offsets.len()-1` such that each part's
+/// row count approaches `total / parts`, with every boundary on an
+/// owner (user/entity) boundary. Deterministic; parts may be empty when
+/// owners are fewer than parts.
+pub fn balanced_bounds(offsets: &[u32], parts: usize) -> Vec<u32> {
+    let n = offsets.len().saturating_sub(1);
+    let parts = parts.max(1);
+    let total = if n == 0 { 0 } else { offsets[n] as usize };
+    let mut bounds = Vec::with_capacity(parts + 1);
+    bounds.push(0u32);
+    let mut owner = 0usize;
+    for s in 1..parts {
+        // Rows the first `s` parts should ideally cover.
+        let target = total * s / parts;
+        while owner < n && (offsets[owner] as usize) < target {
+            owner += 1;
+        }
+        bounds.push(id32(owner.min(n)));
+    }
+    bounds.push(id32(n));
+    bounds
+}
+
+/// Even contiguous partition of a keyless work list (e.g. the labeled
+/// CTR pair set): ranges of `ceil(len / parts)` rows each, the last
+/// possibly short, matching `slice::chunks` boundaries. Fewer than
+/// `parts` ranges come back when `len` is small. Deterministic.
+pub fn even_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let chunk = len.div_ceil(parts.max(1)).max(1);
+    let mut out = Vec::with_capacity(len.div_ceil(chunk));
+    let mut lo = 0usize;
+    while lo < len {
+        let hi = (lo + chunk).min(len);
+        out.push(lo..hi);
+        lo = hi;
+    }
+    out
+}
+
+/// A view over one user range of a columnar store.
+#[derive(Debug, Clone, Copy)]
+pub struct UserShard<'a> {
+    cols: &'a ColumnarInteractions,
+    users: (u32, u32),
+}
+
+impl<'a> UserShard<'a> {
+    /// The user ids this shard covers.
+    pub fn users(&self) -> std::ops::Range<u32> {
+        self.users.0..self.users.1
+    }
+
+    /// Number of rows in the shard.
+    pub fn num_rows(&self) -> usize {
+        let (lo, hi) = self.users;
+        (self.cols.u_offsets()[hi as usize] - self.cols.u_offsets()[lo as usize]) as usize
+    }
+
+    /// Items of `user` (must lie in [`Self::users`]).
+    pub fn items_of(&self, user: UserId) -> &'a [ItemId] {
+        debug_assert!(self.users().contains(&user.0), "user outside shard");
+        self.cols.items_of(user)
+    }
+
+    /// Iterates the shard's `(user, item, rating)` rows user-major —
+    /// concatenation over all shards in shard order replays the
+    /// unsharded [`InteractionMatrix::iter`] order exactly.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (UserId, ItemId, f32)> + 'a {
+        let cols = self.cols;
+        self.users().flat_map(move |u| {
+            let user = UserId(u);
+            cols.items_of(user)
+                .iter()
+                .zip(cols.ratings_of(user).iter())
+                .map(move |(&i, &r)| (user, i, r))
+        })
+    }
+}
+
+/// A view over one entity range of a CSR adjacency.
+#[derive(Debug, Clone, Copy)]
+pub struct EntityShard<'a> {
+    csr: &'a CsrAdjacency,
+    entities: (u32, u32),
+}
+
+impl<'a> EntityShard<'a> {
+    /// The entity ids this shard covers.
+    pub fn entities(&self) -> std::ops::Range<u32> {
+        self.entities.0..self.entities.1
+    }
+
+    /// Number of facts headed by the shard's entities.
+    pub fn num_triples(&self) -> usize {
+        let (lo, hi) = self.entities;
+        (self.csr.offsets()[hi as usize] - self.csr.offsets()[lo as usize]) as usize
+    }
+
+    /// Iterates the shard's facts head-major — concatenation over all
+    /// shards in shard order replays the unsharded
+    /// `KnowledgeGraph::iter_triples` order exactly.
+    pub fn iter_triples(&self) -> impl Iterator<Item = Triple> + 'a {
+        let csr = self.csr;
+        let (lo, hi) = self.entities;
+        (csr.offsets()[lo as usize] as usize..csr.offsets()[hi as usize] as usize)
+            .map(move |i| csr.triple_at(i))
+    }
+
+    /// Out-degree of `e` (must lie in [`Self::entities`]).
+    pub fn degree(&self, e: EntityId) -> usize {
+        debug_assert!(self.entities().contains(&e.0), "entity outside shard");
+        self.csr.degree(e)
+    }
+}
+
+/// The sharded view the parallel pool and the roster evaluator consume:
+/// one interaction matrix and one KG behind matching range partitions.
+#[derive(Debug)]
+pub struct ShardedDataset<'a> {
+    interactions: &'a InteractionMatrix,
+    graph: &'a KnowledgeGraph,
+    plan: ShardPlan,
+    entity_bounds: Vec<u32>,
+}
+
+impl<'a> ShardedDataset<'a> {
+    /// Shards `interactions` by user range and `graph` by entity range,
+    /// both balanced by row/edge count into at most `shards` parts.
+    pub fn new(
+        interactions: &'a InteractionMatrix,
+        graph: &'a KnowledgeGraph,
+        shards: usize,
+    ) -> Self {
+        let plan = ShardPlan::balanced(interactions.columnar(), shards);
+        let entity_bounds = balanced_bounds(graph.csr().offsets(), shards);
+        Self { interactions, graph, plan, entity_bounds }
+    }
+
+    /// Convenience: shard a dataset's interaction matrix and KG together.
+    pub fn of_dataset(dataset: &'a KgDataset, shards: usize) -> Self {
+        Self::new(&dataset.interactions, &dataset.graph, shards)
+    }
+
+    /// Number of shards (identical for users and entities).
+    pub fn num_shards(&self) -> usize {
+        self.plan.num_shards()
+    }
+
+    /// The user-range plan.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The interaction view of shard `s`.
+    pub fn user_shard(&self, s: usize) -> UserShard<'a> {
+        let r = self.plan.user_range(s);
+        UserShard { cols: self.interactions.columnar(), users: (r.start, r.end) }
+    }
+
+    /// The KG view of shard `s`.
+    pub fn entity_shard(&self, s: usize) -> EntityShard<'a> {
+        EntityShard {
+            csr: self.graph.csr(),
+            entities: (self.entity_bounds[s], self.entity_bounds[s + 1]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interactions::Interaction;
+    use crate::synth::{generate, ScenarioConfig};
+
+    fn toy() -> InteractionMatrix {
+        InteractionMatrix::from_interactions(
+            5,
+            4,
+            &[
+                Interaction::implicit(UserId(0), ItemId(1)),
+                Interaction::rated(UserId(0), ItemId(3), 5.0),
+                Interaction::implicit(UserId(2), ItemId(1)),
+                Interaction::implicit(UserId(2), ItemId(0)),
+                Interaction::implicit(UserId(3), ItemId(2)),
+                Interaction::implicit(UserId(4), ItemId(0)),
+            ],
+        )
+    }
+
+    #[test]
+    fn balanced_plan_covers_and_validates() {
+        let m = toy();
+        for shards in 1..8 {
+            let plan = ShardPlan::balanced(m.columnar(), shards);
+            assert_eq!(plan.num_shards(), shards.max(1));
+            assert!(plan.validate(m.columnar()).is_empty(), "shards={shards}");
+            let total: usize = (0..plan.num_shards()).map(|s| plan.row_range(s).len()).sum();
+            assert_eq!(total, m.num_interactions());
+        }
+    }
+
+    #[test]
+    fn sharded_iteration_replays_unsharded_order() {
+        let synth = generate(&ScenarioConfig::tiny(), 11);
+        let m = &synth.dataset.interactions;
+        let unsharded: Vec<_> = m.iter().collect();
+        for shards in [1, 2, 3, 5, 8] {
+            let sd = ShardedDataset::new(m, &synth.dataset.graph, shards);
+            let replayed: Vec<_> =
+                (0..sd.num_shards()).flat_map(|s| sd.user_shard(s).iter_rows()).collect();
+            assert_eq!(replayed.len(), unsharded.len(), "shards={shards}");
+            for (a, b) in unsharded.iter().zip(replayed.iter()) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1, b.1);
+                assert!(a.2.to_bits() == b.2.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn entity_shards_replay_triples() {
+        let synth = generate(&ScenarioConfig::tiny(), 11);
+        let g = &synth.dataset.graph;
+        let unsharded: Vec<_> = g.iter_triples().collect();
+        for shards in [1, 2, 4, 7] {
+            let sd = ShardedDataset::new(&synth.dataset.interactions, g, shards);
+            let replayed: Vec<_> =
+                (0..sd.num_shards()).flat_map(|s| sd.entity_shard(s).iter_triples()).collect();
+            assert_eq!(replayed, unsharded, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn validate_flags_user_split() {
+        let m = toy();
+        let plan = ShardPlan::balanced(m.columnar(), 2);
+        let mut bad_rows = plan.row_bounds().to_vec();
+        bad_rows[1] = bad_rows[1].wrapping_add(1); // cut through a history
+        let bad = ShardPlan::from_raw_parts(m.num_users(), plan.user_bounds().to_vec(), bad_rows);
+        assert!(bad
+            .validate(m.columnar())
+            .iter()
+            .any(|v| matches!(v, ShardViolation::UserSplitAcrossShards { index: 1, .. })));
+    }
+
+    #[test]
+    fn validate_flags_coverage_and_monotonicity() {
+        let m = toy();
+        let bad = ShardPlan::from_raw_parts(5, vec![1, 5], vec![0, 6]);
+        assert!(bad
+            .validate(m.columnar())
+            .iter()
+            .any(|v| matches!(v, ShardViolation::Coverage { first: 1, .. })));
+        let bad = ShardPlan::from_raw_parts(5, vec![0, 4, 2, 5], vec![0, 5, 3, 6]);
+        assert!(bad
+            .validate(m.columnar())
+            .iter()
+            .any(|v| matches!(v, ShardViolation::NotMonotone { index: 1 })));
+    }
+
+    #[test]
+    fn more_shards_than_users_yields_empty_shards() {
+        let m = InteractionMatrix::from_interactions(
+            2,
+            2,
+            &[Interaction::implicit(UserId(0), ItemId(0))],
+        );
+        let plan = ShardPlan::balanced(m.columnar(), 6);
+        assert!(plan.validate(m.columnar()).is_empty());
+        let total: usize = (0..plan.num_shards()).map(|s| plan.row_range(s).len()).sum();
+        assert_eq!(total, 1);
+    }
+}

@@ -8,7 +8,13 @@
 //!   nothing to test);
 //! * **leave-one-out** — one interaction per user (the last by timestamp
 //!   when timestamps exist, otherwise a seeded random pick) goes to test.
+//!
+//! A third, [`systematic_holdout`], exists for the scale scenarios: it is
+//! RNG-free and streams both sides directly into columnar builders, so
+//! splitting a ten-million-row store never materializes an intermediate
+//! interaction list.
 
+use crate::columnar::{ColumnarBuilder, NO_TIMESTAMP};
 use crate::ids::UserId;
 use crate::interactions::{Interaction, InteractionMatrix};
 use kgrec_graph::id32;
@@ -115,6 +121,49 @@ pub fn leave_one_out(matrix: &InteractionMatrix, seed: u64) -> Split {
     }
 }
 
+/// RNG-free streaming split for the scale scenarios: of each user's
+/// history, every `every_nth` row (positions `every_nth - 1`,
+/// `2·every_nth - 1`, …) is held out for test — a `1 / every_nth`
+/// hold-out fraction. Users with fewer than two rows stay entirely in
+/// train, matching [`ratio_split`]'s floor.
+///
+/// Both sides are pushed straight into [`ColumnarBuilder`]s, so the only
+/// allocations are the two resulting stores — no intermediate
+/// [`Interaction`] list. Ratings and timestamps are carried through
+/// unchanged. Deterministic by construction (no seed needed).
+///
+/// # Panics
+/// Panics if `every_nth < 2` (everything would land in one side).
+pub fn systematic_holdout(matrix: &InteractionMatrix, every_nth: usize) -> Split {
+    assert!(every_nth >= 2, "systematic_holdout: every_nth must be at least 2");
+    let cols = matrix.columnar();
+    let rows = cols.num_rows();
+    let mut train = ColumnarBuilder::new(matrix.num_users(), matrix.num_items());
+    let mut test = ColumnarBuilder::new(matrix.num_users(), matrix.num_items());
+    train.reserve(rows - rows / every_nth);
+    test.reserve(rows / every_nth);
+    for u in 0..matrix.num_users() {
+        let user = UserId(id32(u));
+        let items = cols.items_of(user);
+        let ratings = cols.ratings_of(user);
+        let stamps = cols.timestamps_of(user);
+        for (p, &item) in items.iter().enumerate() {
+            let rating = if ratings[p].is_nan() { None } else { Some(ratings[p]) };
+            let timestamp = if stamps[p] == NO_TIMESTAMP { None } else { Some(stamps[p]) };
+            let held = items.len() >= 2 && p % every_nth == every_nth - 1;
+            if held {
+                test.push(user, item, rating, timestamp);
+            } else {
+                train.push(user, item, rating, timestamp);
+            }
+        }
+    }
+    Split {
+        train: InteractionMatrix::from_columnar(train.finish()),
+        test: InteractionMatrix::from_columnar(test.finish()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +251,56 @@ mod tests {
         let s = ratio_split(&m, 0.34, 9);
         let all: Vec<f32> = s.train.iter().chain(s.test.iter()).map(|(_, _, r)| r).collect();
         assert!(all.iter().all(|r| !r.is_nan()));
+    }
+
+    #[test]
+    fn systematic_holdout_partitions_without_overlap() {
+        let m = dense_matrix(7, 10);
+        let s = systematic_holdout(&m, 5);
+        assert_eq!(s.train.num_interactions() + s.test.num_interactions(), 70);
+        for u in 0..7 {
+            assert_eq!(s.test.user_degree(UserId(u)), 2, "1/5 of 10 rows held out");
+        }
+        for (u, i, _) in s.test.iter() {
+            assert!(!s.train.contains(u, i), "overlap at ({u}, {i})");
+        }
+        assert!(s.train.columnar().validate().is_empty());
+        assert!(s.test.columnar().validate().is_empty());
+    }
+
+    #[test]
+    fn systematic_holdout_skips_singletons_and_keeps_payload() {
+        let m = InteractionMatrix::from_interactions(
+            2,
+            4,
+            &[
+                Interaction {
+                    user: UserId(0),
+                    item: ItemId(1),
+                    rating: Some(3.0),
+                    timestamp: Some(7),
+                },
+                Interaction::implicit(UserId(1), ItemId(0)),
+                Interaction::rated(UserId(1), ItemId(2), 4.0),
+            ],
+        );
+        let s = systematic_holdout(&m, 2);
+        // User 0 is a singleton: stays in train, payload intact.
+        assert_eq!(s.train.items_of(UserId(0)), &[ItemId(1)]);
+        assert_eq!(s.train.ratings_of(UserId(0)), &[3.0]);
+        assert_eq!(s.train.timestamps_of(UserId(0)), &[7]);
+        // User 1: second row held out.
+        assert_eq!(s.train.items_of(UserId(1)), &[ItemId(0)]);
+        assert_eq!(s.test.items_of(UserId(1)), &[ItemId(2)]);
+        assert_eq!(s.test.ratings_of(UserId(1)), &[4.0]);
+    }
+
+    #[test]
+    fn systematic_holdout_is_deterministic() {
+        let m = dense_matrix(9, 6);
+        let a = systematic_holdout(&m, 3);
+        let b = systematic_holdout(&m, 3);
+        assert_eq!(a.train.columnar().digest(), b.train.columnar().digest());
+        assert_eq!(a.test.columnar().digest(), b.test.columnar().digest());
     }
 }

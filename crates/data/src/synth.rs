@@ -21,6 +21,7 @@
 //!
 //! All generators are deterministic given `(config, seed)`.
 
+use crate::columnar::ColumnarBuilder;
 use crate::dataset::KgDataset;
 use crate::ids::{ItemId, UserId};
 use crate::interactions::{Interaction, InteractionMatrix};
@@ -390,6 +391,226 @@ pub fn generate(config: &ScenarioConfig, seed: u64) -> SyntheticDataset {
     SyntheticDataset { dataset, item_topics, user_topic_weights, config: config.clone() }
 }
 
+/// Streamed variant of [`generate`] for the scale scenarios (`huge` and
+/// its smoke reduction): interactions are pushed straight into a
+/// [`ColumnarBuilder`] — no intermediate [`Interaction`] list — and each
+/// user's sampling work is `O(history)` instead of the dense generator's
+/// `O(num_items)` weight scan, so a million-user scenario generates in
+/// seconds within a bounded memory envelope.
+///
+/// The planted topic model is the same in spirit (coherent item
+/// attributes, users preferring one or two topics, Zipf popularity bias,
+/// uniform noise), but the sampling scheme differs from [`generate`], so
+/// the two generators are **not** interchangeable for a fixed seed — the
+/// regular scenarios keep using [`generate`] and their golden transcripts.
+/// Per-user preference mixtures are derived on the fly and not stored:
+/// `user_topic_weights` comes back empty. `words_per_item` and
+/// `social_links_per_user` are not supported at scale and must be unset.
+///
+/// Every interaction carries a monotone synthetic timestamp (its global
+/// emission index), exercising the timestamp column end-to-end.
+///
+/// # Panics
+/// Panics on degenerate configurations or when word/social generation is
+/// requested.
+pub fn generate_streaming(config: &ScenarioConfig, seed: u64) -> SyntheticDataset {
+    assert!(config.num_users > 0, "generate_streaming: num_users must be positive");
+    assert!(config.num_items > 0, "generate_streaming: num_items must be positive");
+    assert!(config.num_topics > 0, "generate_streaming: num_topics must be positive");
+    assert!(
+        config.words_per_item.is_none() && config.social_links_per_user == 0,
+        "generate_streaming: words/social are not supported at scale"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = config.num_topics;
+
+    // 1–2. Attribute-value and item topics, exactly like `generate`.
+    let value_topics: Vec<Vec<usize>> = config
+        .relations
+        .iter()
+        .map(|spec| {
+            if spec.item_item {
+                Vec::new()
+            } else {
+                (0..spec.num_values).map(|_| rng.gen_range(0..t)).collect()
+            }
+        })
+        .collect();
+    let item_topics: Vec<usize> = (0..config.num_items).map(|_| rng.gen_range(0..t)).collect();
+    let values_by_topic: Vec<Vec<Vec<usize>>> = value_topics
+        .iter()
+        .map(|vt| {
+            let mut groups = vec![Vec::new(); t];
+            for (v, &topic) in vt.iter().enumerate() {
+                groups[topic].push(v);
+            }
+            groups
+        })
+        .collect();
+    let mut items_by_topic = vec![Vec::new(); t];
+    for (j, &topic) in item_topics.iter().enumerate() {
+        items_by_topic[topic].push(j);
+    }
+
+    // 3. Popularity: Zipf rank over a random permutation, then each topic
+    // pool sorted most-popular-first so a power-law index draw inside the
+    // pool reproduces the bias without per-item weights.
+    let mut pop_rank = vec![0usize; config.num_items];
+    {
+        let mut perm: Vec<usize> = (0..config.num_items).collect();
+        for i in (1..perm.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        for (rank, &item) in perm.iter().enumerate() {
+            pop_rank[item] = rank;
+        }
+    }
+    for pool in &mut items_by_topic {
+        pool.sort_by_key(|&j| pop_rank[j]);
+    }
+
+    // 4. Interactions, streamed user-major into the columnar builder.
+    let mut builder = ColumnarBuilder::new(config.num_users, config.num_items);
+    builder.reserve((config.mean_interactions_per_user * config.num_users as f64) as usize);
+    // Power-law index exponent: larger Zipf ⇒ draws concentrate at the
+    // popular head of each pool.
+    let bias = 1.0 + config.popularity_zipf;
+    let mut emitted = 0u64;
+    let mut history: Vec<usize> = Vec::new();
+    for u in 0..config.num_users {
+        let primary = rng.gen_range(0..t);
+        let secondary = if t > 1 && rng.gen_bool(0.5) {
+            let mut s = rng.gen_range(0..t);
+            while s == primary {
+                s = rng.gen_range(0..t);
+            }
+            Some(s)
+        } else {
+            None
+        };
+        let n_target = {
+            let jitter = 0.5 + rng.gen::<f64>();
+            ((config.mean_interactions_per_user * jitter).round() as usize)
+                .clamp(1, config.num_items.saturating_sub(1).max(1))
+        };
+        history.clear();
+        let mut attempts = 0usize;
+        let cap = n_target * 10 + 20;
+        while history.len() < n_target && attempts < cap {
+            attempts += 1;
+            let pick = if rng.gen_bool(config.noise) {
+                rng.gen_range(0..config.num_items)
+            } else {
+                // 70% primary topic, 25% secondary (primary when absent),
+                // 5% uniform topic — mirroring the dense mixture weights.
+                let roll: f64 = rng.gen();
+                let topic = if roll < 0.70 {
+                    primary
+                } else if roll < 0.95 {
+                    secondary.unwrap_or(primary)
+                } else {
+                    rng.gen_range(0..t)
+                };
+                let pool = &items_by_topic[topic];
+                if pool.is_empty() {
+                    rng.gen_range(0..config.num_items)
+                } else {
+                    let r: f64 = rng.gen();
+                    pool[((pool.len() as f64 * r.powf(bias)) as usize).min(pool.len() - 1)]
+                }
+            };
+            if !history.contains(&pick) {
+                history.push(pick);
+            }
+        }
+        history.sort_unstable();
+        for &j in &history {
+            let rating = if config.explicit_ratings {
+                let affinity: f32 = if item_topics[j] == primary {
+                    0.75
+                } else if Some(item_topics[j]) == secondary {
+                    0.25
+                } else {
+                    0.05
+                };
+                let base = 2.5 + 3.0 * affinity + 0.5 * (rng.gen::<f32>() - 0.5);
+                Some(base.round().clamp(1.0, 5.0))
+            } else {
+                None
+            };
+            builder.push(UserId(id32(u)), ItemId(id32(j)), rating, Some(emitted));
+            emitted += 1;
+        }
+    }
+    let matrix = InteractionMatrix::from_columnar(builder.finish());
+
+    // 5. Knowledge graph: same planted-attribute scheme as `generate`,
+    // with attributes drawn per item on the fly.
+    let mut b = KgBuilder::new();
+    let item_ty = b.entity_type("item");
+    let item_entities: Vec<EntityId> =
+        (0..config.num_items).map(|j| b.entity(&format!("item:{j}"), item_ty)).collect();
+    for (ri, spec) in config.relations.iter().enumerate() {
+        let rel = b.relation(&spec.name);
+        let value_entities: Vec<EntityId> = if spec.item_item {
+            Vec::new()
+        } else {
+            let val_ty = b.entity_type(&spec.name);
+            (0..spec.num_values).map(|v| b.entity(&format!("{}:{v}", spec.name), val_ty)).collect()
+        };
+        for j in 0..config.num_items {
+            let topic = item_topics[j];
+            let k = rng.gen_range(spec.values_per_item.0..=spec.values_per_item.1);
+            let mut chosen: Vec<usize> = Vec::with_capacity(k);
+            for _ in 0..k {
+                let coherent = rng.gen_bool(config.attribute_coherence);
+                let v = if spec.item_item {
+                    let pool: &[usize] = if coherent && items_by_topic[topic].len() > 1 {
+                        &items_by_topic[topic]
+                    } else {
+                        &[]
+                    };
+                    let cand = if pool.is_empty() {
+                        rng.gen_range(0..config.num_items)
+                    } else {
+                        pool[rng.gen_range(0..pool.len())]
+                    };
+                    if cand == j {
+                        continue; // no self-loops
+                    }
+                    cand
+                } else {
+                    let pool = &values_by_topic[ri][topic];
+                    if coherent && !pool.is_empty() {
+                        pool[rng.gen_range(0..pool.len())]
+                    } else if spec.num_values > 0 {
+                        rng.gen_range(0..spec.num_values)
+                    } else {
+                        continue;
+                    }
+                };
+                if !chosen.contains(&v) {
+                    chosen.push(v);
+                }
+            }
+            for &v in &chosen {
+                let tail = if spec.item_item { item_entities[v] } else { value_entities[v] };
+                b.triple(item_entities[j], rel, tail);
+            }
+        }
+    }
+    let graph = b.build(true);
+    let dataset = KgDataset::new(matrix, graph, item_entities);
+
+    SyntheticDataset {
+        dataset,
+        item_topics,
+        user_topic_weights: Vec::new(),
+        config: config.clone(),
+    }
+}
+
 impl ScenarioConfig {
     /// Returns a copy that also generates `n` homophilous social links
     /// per user (survey §6: user side information).
@@ -605,6 +826,51 @@ impl ScenarioConfig {
             social_links_per_user: 0,
         }
     }
+
+    /// The million-user scale scenario: 1M users, 100K items, ~10M
+    /// interactions, a ~100K-entity item KG. Only valid with
+    /// [`generate_streaming`] — the dense generator's per-user item scan
+    /// would take `O(users × items)` time and its interaction list alone
+    /// would dwarf the columnar store. Exercised by `scale_bench`, which
+    /// also states and enforces the memory budget (see `DESIGN.md` §13).
+    pub fn huge() -> Self {
+        Self {
+            name: "huge".into(),
+            num_users: 1_000_000,
+            num_items: 100_000,
+            num_topics: 32,
+            relations: vec![
+                RelationSpec::attribute("genre", 64, 1, 2),
+                RelationSpec::attribute("brand", 2000, 1, 1),
+                RelationSpec::attribute("category", 128, 1, 1),
+            ],
+            mean_interactions_per_user: 10.0,
+            attribute_coherence: 0.85,
+            preference_sharpness: 6.0,
+            popularity_zipf: 1.0,
+            noise: 0.05,
+            explicit_ratings: false,
+            words_per_item: None,
+            social_links_per_user: 0,
+        }
+    }
+
+    /// CI-sized reduction of [`Self::huge`] (50× fewer users, 20× fewer
+    /// items, same density regime and relation shape) so every push can
+    /// run the scale drill in seconds; the full configuration stays
+    /// behind the nightly flag.
+    pub fn huge_smoke() -> Self {
+        let mut c = Self::huge();
+        c.name = "huge-smoke".into();
+        c.num_users = 20_000;
+        c.num_items = 5_000;
+        c.relations = vec![
+            RelationSpec::attribute("genre", 64, 1, 2),
+            RelationSpec::attribute("brand", 200, 1, 1),
+            RelationSpec::attribute("category", 64, 1, 1),
+        ];
+        c
+    }
 }
 
 #[cfg(test)]
@@ -703,11 +969,74 @@ mod tests {
         let d = generate(&ScenarioConfig::lastfm_like(), 8);
         let g = &d.dataset.graph;
         let rel = g.relation_by_name("similar_artist").unwrap();
-        for t in g.triples() {
+        for t in g.iter_triples() {
             if t.rel == rel {
                 assert_ne!(t.head, t.tail);
             }
         }
+    }
+
+    #[test]
+    fn streaming_generator_is_deterministic_and_sound() {
+        let cfg = ScenarioConfig::tiny();
+        let a = generate_streaming(&cfg, 42);
+        let b = generate_streaming(&cfg, 42);
+        assert_eq!(
+            a.dataset.interactions.columnar().digest(),
+            b.dataset.interactions.columnar().digest()
+        );
+        assert_eq!(a.item_topics, b.item_topics);
+        assert!(a.dataset.interactions.columnar().validate().is_empty());
+        assert!(a.user_topic_weights.is_empty(), "mixtures are not stored at scale");
+        let c = generate_streaming(&cfg, 43);
+        assert_ne!(
+            a.dataset.interactions.columnar().digest(),
+            c.dataset.interactions.columnar().digest()
+        );
+    }
+
+    #[test]
+    fn streaming_generator_covers_users_and_stamps_rows() {
+        let d = generate_streaming(&ScenarioConfig::tiny(), 7);
+        let m = &d.dataset.interactions;
+        let mut last_stamp = None;
+        for u in 0..d.config.num_users {
+            let user = UserId(u as u32);
+            assert!(m.user_degree(user) >= 1, "user {u} has no history");
+            let stamps = m.timestamps_of(user);
+            for &ts in stamps {
+                assert_ne!(ts, crate::columnar::NO_TIMESTAMP);
+            }
+            // User-major emission: stamps grow across the store when read
+            // user by user (within-user order is by item, so only the
+            // per-user minimum is compared across users).
+            let lo = stamps.iter().copied().min().expect("nonempty history");
+            if let Some(prev) = last_stamp {
+                assert!(lo > prev);
+            }
+            last_stamp = stamps.iter().copied().max();
+        }
+        // KG aligned and attribute-bearing, like the dense generator.
+        assert_eq!(d.dataset.item_entities.len(), d.config.num_items);
+        for &e in &d.dataset.item_entities {
+            assert!(d.dataset.graph.degree(e) >= 1, "item entity {e} isolated");
+        }
+    }
+
+    #[test]
+    fn streaming_generator_plants_popularity_skew() {
+        // With Zipf bias the most popular decile must absorb well more
+        // than a uniform share of interactions.
+        let d = generate_streaming(&ScenarioConfig::tiny(), 11);
+        let pop = d.dataset.interactions.item_popularity();
+        let mut sorted = pop.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = sorted.iter().sum();
+        let head: usize = sorted.iter().take(sorted.len() / 10).sum();
+        assert!(
+            head as f64 > 0.2 * total as f64,
+            "top decile only got {head}/{total} interactions"
+        );
     }
 
     #[test]

@@ -1,11 +1,15 @@
 //! CSR-backed knowledge graph storage.
 //!
 //! The graph is immutable once built (see [`crate::KgBuilder`]); all
-//! surveyed algorithms treat the KG as a fixed input. Out-edges are stored
-//! in compressed sparse row form sorted by `(relation, tail)`, which makes
-//! per-entity neighbor scans contiguous and relation-restricted scans a
-//! binary-search-plus-slice.
+//! surveyed algorithms treat the KG as a fixed input. Facts live in a
+//! structure-of-arrays [`CsrAdjacency`] — per-entity `u32` offsets plus
+//! packed head/relation/tail columns sorted by `(head, relation, tail)` —
+//! which makes per-entity neighbor scans contiguous, relation-restricted
+//! scans a binary-search-plus-slice, and the whole store 12 bytes per
+//! triple instead of the ~20 the old tuple-plus-duplicate-triples layout
+//! paid.
 
+use crate::csr::CsrAdjacency;
 use crate::ids::{id32, EntityId, EntityTypeId, RelationId, Triple};
 
 /// An immutable heterogeneous knowledge graph.
@@ -20,12 +24,8 @@ pub struct KnowledgeGraph {
     relation_names: Vec<String>,
     /// Number of relations that are not auto-generated inverses.
     base_relations: usize,
-    /// CSR offsets into `edges`, length `num_entities + 1`.
-    offsets: Vec<usize>,
-    /// Out-edges `(relation, tail)` sorted per head by `(relation, tail)`.
-    edges: Vec<(RelationId, EntityId)>,
-    /// All triples in sorted order (head-major) for iteration / KGE training.
-    triples: Vec<Triple>,
+    /// Flat-array adjacency holding every fact exactly once.
+    adj: CsrAdjacency,
 }
 
 impl KnowledgeGraph {
@@ -42,24 +42,8 @@ impl KnowledgeGraph {
         assert_eq!(entity_names.len(), entity_types.len(), "entity name/type length mismatch");
         let n = entity_names.len();
         triples.sort_by_key(|t| (t.head.0, t.rel.0, t.tail.0));
-        let mut offsets = vec![0usize; n + 1];
-        for t in &triples {
-            offsets[t.head.index() + 1] += 1;
-        }
-        for i in 0..n {
-            offsets[i + 1] += offsets[i];
-        }
-        let edges = triples.iter().map(|t| (t.rel, t.tail)).collect();
-        Self {
-            entity_names,
-            entity_types,
-            type_names,
-            relation_names,
-            base_relations,
-            offsets,
-            edges,
-            triples,
-        }
+        let adj = CsrAdjacency::from_sorted_triples(n, &triples);
+        Self { entity_names, entity_types, type_names, relation_names, base_relations, adj }
     }
 
     /// Number of entities `|V|`.
@@ -84,7 +68,7 @@ impl KnowledgeGraph {
 
     /// Number of stored triples (facts).
     pub fn num_triples(&self) -> usize {
-        self.triples.len()
+        self.adj.num_edges()
     }
 
     /// Name of entity `e`.
@@ -132,38 +116,74 @@ impl KnowledgeGraph {
     }
 
     /// Out-degree of entity `e`.
+    #[inline]
     pub fn degree(&self, e: EntityId) -> usize {
-        self.offsets[e.index() + 1] - self.offsets[e.index()]
+        self.adj.degree(e)
     }
 
     /// Iterator over the out-edges `(relation, tail)` of `e`, sorted by
     /// `(relation, tail)`.
     pub fn neighbors(&self, e: EntityId) -> impl Iterator<Item = (RelationId, EntityId)> + '_ {
-        self.edge_slice(e).iter().copied()
+        self.adj.rel_slice(e).iter().copied().zip(self.adj.tail_slice(e).iter().copied())
     }
 
-    /// The out-edge slice of `e` (sorted by `(relation, tail)`).
+    /// Relation column of `e`'s out-edges (parallel to [`Self::tail_slice`]).
     #[inline]
-    pub fn edge_slice(&self, e: EntityId) -> &[(RelationId, EntityId)] {
-        &self.edges[self.offsets[e.index()]..self.offsets[e.index() + 1]]
+    pub fn rel_slice(&self, e: EntityId) -> &[RelationId] {
+        self.adj.rel_slice(e)
     }
 
-    /// Out-neighbors of `e` via a specific relation, as a contiguous slice.
-    pub fn neighbors_by_relation(&self, e: EntityId, r: RelationId) -> &[(RelationId, EntityId)] {
-        let edges = self.edge_slice(e);
-        let lo = edges.partition_point(|&(er, _)| er < r);
-        let hi = edges.partition_point(|&(er, _)| er <= r);
-        &edges[lo..hi]
+    /// Tail column of `e`'s out-edges (parallel to [`Self::rel_slice`]).
+    #[inline]
+    pub fn tail_slice(&self, e: EntityId) -> &[EntityId] {
+        self.adj.tail_slice(e)
+    }
+
+    /// The `k`-th out-edge of `e` as a `(relation, tail)` pair.
+    #[inline]
+    pub fn edge_at(&self, e: EntityId, k: usize) -> (RelationId, EntityId) {
+        self.adj.edge_at(e, k)
+    }
+
+    /// Out-neighbors of `e` via a specific relation, as a contiguous slice
+    /// of tails (the relation is implied by the query).
+    pub fn neighbors_by_relation(&self, e: EntityId, r: RelationId) -> &[EntityId] {
+        let rels = self.adj.rel_slice(e);
+        let lo = rels.partition_point(|&er| er < r);
+        let hi = rels.partition_point(|&er| er <= r);
+        &self.adj.tail_slice(e)[lo..hi]
     }
 
     /// Whether the fact `⟨h, r, t⟩` is in the graph.
     pub fn contains(&self, head: EntityId, rel: RelationId, tail: EntityId) -> bool {
-        self.edge_slice(head).binary_search(&(rel, tail)).is_ok()
+        self.neighbors_by_relation(head, rel).binary_search(&tail).is_ok()
     }
 
-    /// All triples, head-major sorted.
-    pub fn triples(&self) -> &[Triple] {
-        &self.triples
+    /// The fact stored at index `i` of the head-major sorted order.
+    /// O(1); the KGE trainers sample facts uniformly by index.
+    #[inline]
+    pub fn triple_at(&self, i: usize) -> Triple {
+        self.adj.triple_at(i)
+    }
+
+    /// Iterates all facts in head-major sorted order.
+    pub fn iter_triples(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.adj.iter_triples()
+    }
+
+    /// The underlying flat-array adjacency (integrity checks, sharding,
+    /// and memory accounting read it directly).
+    pub fn csr(&self) -> &CsrAdjacency {
+        &self.adj
+    }
+
+    /// Replaces the adjacency with **no validation**.
+    ///
+    /// Exists for the kglint `MD007` corrupted fixtures, which need a
+    /// graph whose layout is structurally broken; production code builds
+    /// graphs through [`crate::KgBuilder`] or [`Self::from_parts`].
+    pub fn set_adjacency_unchecked(&mut self, adj: CsrAdjacency) {
+        self.adj = adj;
     }
 
     /// Mean out-degree (a sanity statistic used by the generators).
@@ -213,6 +233,8 @@ mod tests {
         let nbrs: Vec<_> = g.neighbors(m2).collect();
         assert_eq!(nbrs.len(), 2);
         assert!(nbrs.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(g.edge_at(m2, 0), nbrs[0]);
+        assert_eq!(g.edge_at(m2, 1), nbrs[1]);
     }
 
     #[test]
@@ -235,6 +257,20 @@ mod tests {
         let r = g.relation_by_name("has_genre").unwrap();
         assert!(g.contains(m1, r, g1));
         assert!(!g.contains(g1, r, m1));
+    }
+
+    #[test]
+    fn triples_accessible_by_index_and_iterator() {
+        let g = toy();
+        let all: Vec<Triple> = g.iter_triples().collect();
+        assert_eq!(all.len(), g.num_triples());
+        assert!(all
+            .windows(2)
+            .all(|w| (w[0].head.0, w[0].rel.0, w[0].tail.0)
+                <= (w[1].head.0, w[1].rel.0, w[1].tail.0)));
+        for (i, t) in all.iter().enumerate() {
+            assert_eq!(g.triple_at(i), *t);
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub mod builder;
+pub mod csr;
 pub mod graph;
 pub mod ids;
 pub mod metapath;
@@ -35,6 +36,7 @@ pub mod ripple;
 pub mod sample;
 
 pub use builder::KgBuilder;
+pub use csr::{CsrAdjacency, CsrViolation};
 pub use graph::KnowledgeGraph;
 pub use ids::{id32, EntityId, EntityTypeId, RelationId, Triple};
 pub use metapath::{MetaGraph, MetaPath};

@@ -70,7 +70,7 @@ impl MetaPath {
         for &rel in &self.relations {
             let mut next: Vec<(EntityId, f64)> = Vec::new();
             for &(e, c) in &frontier {
-                for &(_, t) in graph.neighbors_by_relation(e, rel) {
+                for &t in graph.neighbors_by_relation(e, rel) {
                     next.push((t, c));
                 }
             }
@@ -124,7 +124,7 @@ impl MetaPath {
             return;
         }
         let cur = *stack.last().expect("stack nonempty");
-        for &(_, t) in graph.neighbors_by_relation(cur, self.relations[depth]) {
+        for &t in graph.neighbors_by_relation(cur, self.relations[depth]) {
             stack.push(t);
             self.dfs_instances(graph, depth + 1, stack, out, max_instances);
             stack.pop();

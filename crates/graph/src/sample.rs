@@ -21,26 +21,31 @@ pub fn sample_neighbors<R: Rng + ?Sized>(
     k: usize,
     rng: &mut R,
 ) -> Vec<(RelationId, EntityId)> {
-    let edges = graph.edge_slice(e);
-    if edges.is_empty() || k == 0 {
+    // The RNG draw sequence here depends only on the degree and `k` — it
+    // must stay identical to the pre-CSR tuple-slice implementation so the
+    // golden transcripts hold.
+    let degree = graph.degree(e);
+    if degree == 0 || k == 0 {
         return Vec::new();
     }
-    if edges.len() <= k {
+    if degree <= k {
         let mut out = Vec::with_capacity(k);
         // Take everything once, then top up with replacement.
-        out.extend_from_slice(edges);
+        for i in 0..degree {
+            out.push(graph.edge_at(e, i));
+        }
         while out.len() < k {
-            out.push(edges[rng.gen_range(0..edges.len())]);
+            out.push(graph.edge_at(e, rng.gen_range(0..degree)));
         }
         out
     } else {
         // Partial Fisher–Yates over indices: uniform without replacement.
-        let mut idx: Vec<usize> = (0..edges.len()).collect();
+        let mut idx: Vec<usize> = (0..degree).collect();
         for i in 0..k {
             let j = rng.gen_range(i..idx.len());
             idx.swap(i, j);
         }
-        idx[..k].iter().map(|&i| edges[i]).collect()
+        idx[..k].iter().map(|&i| graph.edge_at(e, i)).collect()
     }
 }
 

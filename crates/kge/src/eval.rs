@@ -159,7 +159,7 @@ mod tests {
             b.triple(es[i], r, es[i + 5]);
         }
         let g = b.build(false);
-        let test: Vec<Triple> = g.triples().to_vec();
+        let test: Vec<Triple> = g.iter_triples().collect();
 
         let mut rng = StdRng::seed_from_u64(3);
         let untrained = TransE::new(&mut rng, 10, 1, 16, 1.0);
@@ -193,9 +193,10 @@ mod tests {
         let g = b.build(false);
         let mut rng = StdRng::seed_from_u64(7);
         let m = TransE::new(&mut rng, 12, 1, 8, 1.0);
-        let serial = link_prediction(&m, &g, g.triples()).unwrap();
+        let test: Vec<Triple> = g.iter_triples().collect();
+        let serial = link_prediction(&m, &g, &test).unwrap();
         for threads in [2, 4, 7] {
-            let par = link_prediction_par(&m, &g, g.triples(), threads).unwrap();
+            let par = link_prediction_par(&m, &g, &test, threads).unwrap();
             assert_eq!(par, serial, "threads={threads}");
         }
     }
@@ -213,7 +214,8 @@ mod tests {
         let g = b.build(false);
         let mut rng = StdRng::seed_from_u64(5);
         let m = TransE::new(&mut rng, 6, 1, 8, 1.0);
-        let rep = link_prediction(&m, &g, g.triples()).unwrap();
+        let test: Vec<Triple> = g.iter_triples().collect();
+        let rep = link_prediction(&m, &g, &test).unwrap();
         assert!(rep.hits_at_1 <= rep.hits_at_3);
         assert!(rep.hits_at_3 <= rep.hits_at_10);
         assert!(rep.mrr > 0.0 && rep.mrr <= 1.0);

@@ -70,15 +70,15 @@ pub fn random_walks(
                         if nbrs.is_empty() {
                             None
                         } else {
-                            Some(nbrs[rng.gen_range(0..nbrs.len())].1)
+                            Some(nbrs[rng.gen_range(0..nbrs.len())])
                         }
                     }
                     None => {
-                        let nbrs = graph.edge_slice(cur);
-                        if nbrs.is_empty() {
+                        let degree = graph.degree(cur);
+                        if degree == 0 {
                             None
                         } else {
-                            Some(nbrs[rng.gen_range(0..nbrs.len())].1)
+                            Some(graph.edge_at(cur, rng.gen_range(0..degree)).1)
                         }
                     }
                 };

@@ -168,7 +168,7 @@ where
             order.swap(i, j);
         }
         for &idx in &order {
-            let _ = corrupt(graph, graph.triples()[idx], &mut rng);
+            let _ = corrupt(graph, graph.triple_at(idx), &mut rng);
         }
     }
     let mut curve = Vec::with_capacity(config.epochs.saturating_sub(start_epoch));
@@ -199,7 +199,7 @@ where
             for chunk in order.chunks(GRAD_CHUNK) {
                 pairs.clear();
                 for &idx in chunk {
-                    let pos = graph.triples()[idx];
+                    let pos = graph.triple_at(idx);
                     pairs.push((pos, corrupt(graph, pos, &mut rng)));
                 }
                 // Sub-batch boundaries are fixed by GRAD_SUB, independent
@@ -232,7 +232,7 @@ where
             for chunk in order.chunks(BATCH) {
                 pairs.clear();
                 for &idx in chunk {
-                    let pos = graph.triples()[idx];
+                    let pos = graph.triple_at(idx);
                     pairs.push((pos, corrupt(graph, pos, &mut rng)));
                 }
                 losses.clear();
@@ -378,7 +378,7 @@ mod tests {
     fn corrupt_avoids_known_facts() {
         let g = toy_graph();
         let mut rng = StdRng::seed_from_u64(1);
-        let pos = g.triples()[0];
+        let pos = g.triple_at(0);
         for _ in 0..100 {
             let neg = corrupt(&g, pos, &mut rng);
             assert_ne!(neg, pos);
@@ -410,9 +410,8 @@ mod tests {
         let mut m = TransE::new(&mut rng, g.num_entities(), g.num_relations(), 16, 1.0);
         train(&mut m, &g, &TrainConfig { epochs: 60, learning_rate: 0.05, seed: 5, threads: None });
         // Mean score of facts vs. cross-cluster non-facts.
-        let fact_mean: f32 =
-            g.triples().iter().map(|t| m.score(t.head, t.rel, t.tail)).sum::<f32>()
-                / g.num_triples() as f32;
+        let fact_mean: f32 = g.iter_triples().map(|t| m.score(t.head, t.rel, t.tail)).sum::<f32>()
+            / g.num_triples() as f32;
         let mut non_mean = 0.0f32;
         let mut count = 0;
         for i in 0..4u32 {
@@ -456,7 +455,7 @@ mod tests {
         // away from itself.
         let g = complete_graph(3);
         let mut rng = StdRng::seed_from_u64(11);
-        for &pos in g.triples() {
+        for pos in g.iter_triples() {
             for _ in 0..200 {
                 let neg = corrupt(&g, pos, &mut rng);
                 assert_ne!(neg, pos, "fallback corruption aliased the positive {pos:?}");
@@ -468,7 +467,7 @@ mod tests {
     fn single_entity_graph_degenerates_to_identity() {
         let g = complete_graph(1);
         let mut rng = StdRng::seed_from_u64(12);
-        let pos = g.triples()[0];
+        let pos = g.triple_at(0);
         // No distinct corruption exists; the degenerate original comes
         // back instead of an out-of-range entity id.
         assert_eq!(corrupt(&g, pos, &mut rng), pos);

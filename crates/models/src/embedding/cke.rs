@@ -119,7 +119,7 @@ impl Recommender for Cke {
         );
         let (lr, l2) = (self.config.learning_rate, self.config.l2);
         let steps = ctx.train.num_interactions() * self.config.epochs;
-        let triples = graph.triples();
+        let num_triples = graph.num_triples();
         for step in 0..steps {
             // --- CF step (BPR on v = η + x) ---
             let cf_pair = sample_observed(ctx.train, &mut rng)
@@ -159,10 +159,10 @@ impl Recommender for Cke {
                 apply_entity_delta(kmodel, self.alignment[neg.index()], &delta_neg);
             }
             // --- KG steps (TransR margin loss) ---
-            if !triples.is_empty() {
+            if num_triples > 0 {
                 let kmodel = self.kge.get_or_insert_with(|| kge.clone());
                 for _ in 0..self.config.kg_steps_per_cf_step {
-                    let pos = triples[rng.gen_range(0..triples.len())];
+                    let pos = graph.triple_at(rng.gen_range(0..num_triples));
                     let neg = corrupt(graph, pos, &mut rng);
                     kmodel.train_pair(pos, neg, lr);
                 }

@@ -195,7 +195,7 @@ impl Recommender for Ktup {
         let lr = self.config.learning_rate;
         let margin = self.config.margin;
         let lambda = self.config.lambda;
-        let triples = graph.triples();
+        let num_triples = graph.num_triples();
         for _ in 0..self.config.epochs {
             // TUP (recommendation) pass: BPR over hard-preference distances.
             for _ in 0..ctx.train.num_interactions() {
@@ -210,8 +210,8 @@ impl Recommender for Ktup {
                 self.tup_apply(u, neg, p_neg, -g, lr);
             }
             // KG (TransH hinge) pass, weighted by λ.
-            for _ in 0..triples.len() {
-                let pos = triples[rng.gen_range(0..triples.len())];
+            for _ in 0..num_triples {
+                let pos = graph.triple_at(rng.gen_range(0..num_triples));
                 let neg = corrupt(graph, pos, &mut rng);
                 let loss = margin + self.transh_distance(pos) - self.transh_distance(neg);
                 if loss > 0.0 {
@@ -290,7 +290,7 @@ mod tests {
         let split = ratio_split(&synth.dataset.interactions, 0.2, 1);
         let mut m = Ktup::new(KtupConfig { epochs: 1, ..Default::default() });
         m.fit(&TrainContext::new(&synth.dataset, &split.train)).unwrap();
-        let t = synth.dataset.graph.triples()[0];
+        let t = synth.dataset.graph.triple_at(0);
         let d = m.transh_distance(t);
         assert!(d.is_finite() && d >= 0.0);
     }

@@ -262,7 +262,7 @@ impl Recommender for Mkr {
             self.item_of_entity[e.index()] = Some(ItemId(j as u32));
         }
         let lr = self.config.learning_rate;
-        let triples = graph.triples();
+        let num_triples = graph.num_triples();
         for epoch in 0..self.config.epochs {
             // Recommendation tower: one pass of |R| positive + negative.
             for _ in 0..ctx.train.num_interactions() {
@@ -273,9 +273,9 @@ impl Recommender for Mkr {
                 }
             }
             // KGE tower every `kge_interval` epochs.
-            if !triples.is_empty() && epoch % self.config.kge_interval.max(1) == 0 {
-                for _ in 0..triples.len() {
-                    let pos = triples[rng.gen_range(0..triples.len())];
+            if num_triples > 0 && epoch % self.config.kge_interval.max(1) == 0 {
+                for _ in 0..num_triples {
+                    let pos = graph.triple_at(rng.gen_range(0..num_triples));
                     self.kge_step(pos, 1.0, lr);
                     let neg = corrupt(graph, pos, &mut rng);
                     self.kge_step(neg, 0.0, lr);

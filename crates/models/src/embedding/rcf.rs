@@ -244,7 +244,7 @@ impl Recommender for Rcf {
         self.histories =
             (0..ctx.num_users()).map(|u| ctx.train.items_of(UserId(u as u32)).to_vec()).collect();
         let lr = self.config.learning_rate;
-        let triples = graph.triples();
+        let num_triples = graph.num_triples();
         for _ in 0..self.config.epochs {
             for _ in 0..ctx.train.num_interactions() {
                 let Some((u, pos)) = sample_observed(ctx.train, &mut rng) else { break };
@@ -253,8 +253,8 @@ impl Recommender for Rcf {
                     self.rec_step(u, neg, 0.0, lr);
                 }
                 // Joint KG task, one positive + one corrupted triple.
-                if !triples.is_empty() {
-                    let pos_t = triples[rng.gen_range(0..triples.len())];
+                if num_triples > 0 {
+                    let pos_t = graph.triple_at(rng.gen_range(0..num_triples));
                     self.kg_step(pos_t, 1.0, lr);
                     let neg_t = corrupt(graph, pos_t, &mut rng);
                     self.kg_step(neg_t, 0.0, lr);

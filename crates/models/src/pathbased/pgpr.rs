@@ -160,7 +160,12 @@ impl Recommender for PgprLite {
                 type Step = (Vec<(RelationId, EntityId)>, usize, Vec<f32>);
                 let mut steps: Vec<Step> = Vec::new();
                 for _ in 0..horizon {
-                    let actions: Vec<(RelationId, EntityId)> = g.edge_slice(cur).to_vec();
+                    let actions: Vec<(RelationId, EntityId)> = g
+                        .rel_slice(cur)
+                        .iter()
+                        .copied()
+                        .zip(g.tail_slice(cur).iter().copied())
+                        .collect();
                     if actions.is_empty() {
                         break;
                     }
@@ -216,7 +221,12 @@ impl Recommender for PgprLite {
                 let mut ents = vec![cur];
                 let mut rels: Vec<RelationId> = Vec::new();
                 for _ in 0..horizon {
-                    let actions: Vec<(RelationId, EntityId)> = g.edge_slice(cur).to_vec();
+                    let actions: Vec<(RelationId, EntityId)> = g
+                        .rel_slice(cur)
+                        .iter()
+                        .copied()
+                        .zip(g.tail_slice(cur).iter().copied())
+                        .collect();
                     if actions.is_empty() {
                         break;
                     }

@@ -97,10 +97,7 @@ impl ProPpr {
         let w: Vec<f32> = params.iter().map(|&p| vector::softplus(p)).collect();
         let totals: Vec<f32> = (0..n)
             .map(|e| {
-                g.edge_slice(kgrec_graph::EntityId(e as u32))
-                    .iter()
-                    .map(|&(r, _)| w[r.index()])
-                    .sum()
+                g.rel_slice(kgrec_graph::EntityId(e as u32)).iter().map(|&r| w[r.index()]).sum()
             })
             .collect();
         let mut mass = vec![0.0f32; n];
@@ -115,8 +112,9 @@ impl ProPpr {
                 if m == 0.0 {
                     continue;
                 }
-                let edges = g.edge_slice(kgrec_graph::EntityId(e as u32));
-                if edges.is_empty() {
+                let rels = g.rel_slice(kgrec_graph::EntityId(e as u32));
+                let tails = g.tail_slice(kgrec_graph::EntityId(e as u32));
+                if rels.is_empty() {
                     // Dangling mass restarts.
                     next[src] += (1.0 - restart) * m;
                     continue;
@@ -127,7 +125,7 @@ impl ProPpr {
                     continue;
                 }
                 let s = (1.0 - restart) * m;
-                for &(r, t) in edges {
+                for (&r, &t) in rels.iter().zip(tails.iter()) {
                     next[t.index()] += s * w[r.index()] / total;
                 }
             }

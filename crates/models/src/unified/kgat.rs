@@ -101,14 +101,16 @@ impl Kgat {
         let mut edges: Vec<Vec<(u32, f32)>> = Vec::with_capacity(n);
         for h in 0..n as u32 {
             let head = EntityId(h);
-            let nbrs = graph.edge_slice(head);
-            if nbrs.is_empty() {
+            let rels = graph.rel_slice(head);
+            let tails = graph.tail_slice(head);
+            if rels.is_empty() {
                 edges.push(Vec::new());
                 continue;
             }
-            let mut scores: Vec<f32> = nbrs
+            let mut scores: Vec<f32> = rels
                 .iter()
-                .map(|&(r, t)| {
+                .zip(tails.iter())
+                .map(|(&r, &t)| {
                     let m = kge.projection(r);
                     let mut mh = m.matvec(kge.entity_embedding(head));
                     vector::axpy(1.0, kge.relation_embedding(r), &mut mh);
@@ -118,7 +120,7 @@ impl Kgat {
                 })
                 .collect();
             vector::softmax_in_place(&mut scores);
-            edges.push(nbrs.iter().zip(scores.iter()).map(|(&(_, t), &a)| (t.0, a)).collect());
+            edges.push(tails.iter().zip(scores.iter()).map(|(&t, &a)| (t.0, a)).collect());
         }
         self.att_edges = edges;
     }
@@ -227,11 +229,11 @@ impl Recommender for Kgat {
         let lr = self.config.learning_rate;
         let kg_lr = self.config.kg_learning_rate;
         let l2 = self.config.l2;
-        let triples = graph.triples().to_vec();
+        let num_triples = graph.num_triples();
         for _ in 0..self.config.epochs {
             // --- KG pass: TransR on the collaborative KG ---
-            for _ in 0..triples.len().min(2000) {
-                let pos = triples[rng.gen_range(0..triples.len())];
+            for _ in 0..num_triples.min(2000) {
+                let pos = graph.triple_at(rng.gen_range(0..num_triples));
                 let neg = corrupt(&graph, pos, &mut rng);
                 kge.train_pair(pos, neg, kg_lr);
             }

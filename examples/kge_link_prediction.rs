@@ -24,7 +24,7 @@ fn main() {
     );
     // Hold out every 10th triple for evaluation (trained on the full
     // graph here for simplicity; the filter removes known facts).
-    let test: Vec<_> = graph.triples().iter().copied().step_by(10).collect();
+    let test: Vec<_> = graph.iter_triples().step_by(10).collect();
     let cfg = TrainConfig { epochs: 30, learning_rate: 0.05, seed: 4, threads: None };
     let dim = 24;
     let mut rng = StdRng::seed_from_u64(9);

@@ -51,4 +51,16 @@ cargo run --release -p kgrec-bench --bin kernel_bench -- --quick \
   --baseline BENCH_kernels.baseline.json > /dev/null
 test -s BENCH_kernels.json || { echo "FAIL: BENCH_kernels.json missing"; exit 1; }
 
+echo "== scale bench (streaming generation, sharding, ingest, memory budget)"
+# Every push runs the 20k-user smoke size; the full 1M-user / 10M-row
+# drill runs behind KGREC_SCALE_FULL=1 (CI's nightly-style dispatch job).
+# Both apply the same gates: kglint + layout validation, raw-AUC > 0.5,
+# warm start from checkpoint after ingest, peak RSS within budget.
+if [ "${KGREC_SCALE_FULL:-0}" = "1" ]; then
+  cargo run --release -p kgrec-bench --bin scale_bench -- --full --threads 4 --out BENCH_scale.json
+else
+  cargo run --release -p kgrec-bench --bin scale_bench -- --threads 4 --out BENCH_scale.json
+fi
+test -s BENCH_scale.json || { echo "FAIL: BENCH_scale.json missing"; exit 1; }
+
 echo "OK: all checks passed"

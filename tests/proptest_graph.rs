@@ -45,10 +45,10 @@ proptest! {
         // Per-entity adjacency is sorted, and contains() agrees with the
         // triple list.
         for e in 0..n as u32 {
-            let slice = g.edge_slice(EntityId(e));
-            prop_assert!(slice.windows(2).all(|w| w[0] <= w[1]));
+            let nbrs: Vec<_> = g.neighbors(EntityId(e)).collect();
+            prop_assert!(nbrs.windows(2).all(|w| w[0] <= w[1]));
         }
-        for t in g.triples() {
+        for t in g.iter_triples() {
             prop_assert!(g.contains(t.head, t.rel, t.tail));
         }
     }
@@ -59,7 +59,7 @@ proptest! {
         let gi = build(n, &edges, true);
         prop_assert_eq!(gi.num_triples(), 2 * g.num_triples());
         // Every edge is mirrored.
-        for t in g.triples() {
+        for t in g.iter_triples() {
             let inv = RelationId(t.rel.0 + 3);
             prop_assert!(gi.contains(t.tail, inv, t.head));
         }

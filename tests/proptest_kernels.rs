@@ -315,7 +315,7 @@ proptest! {
                 let pairs: Vec<_> = chunk
                     .iter()
                     .map(|&idx| {
-                        let pos = g.triples()[idx];
+                        let pos = g.triple_at(idx);
                         (pos, corrupt(&g, pos, &mut trng))
                     })
                     .collect();
