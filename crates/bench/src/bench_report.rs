@@ -49,6 +49,12 @@ impl BenchEntry {
 pub struct BenchReport {
     /// Worker threads the measured run used.
     pub threads: usize,
+    /// Available hardware parallelism of the host that took the
+    /// measurement. `speedup_vs_serial` below 1.0 is expected, not a
+    /// regression, whenever `threads > host_threads` (CI runners are
+    /// often single-CPU); recording the host lets a reader tell the two
+    /// apart.
+    pub host_threads: usize,
     /// Wall-clock seconds of the measured (possibly parallel) run.
     pub wall_secs: f64,
     /// Wall-clock seconds of the single-threaded comparison run, when one
@@ -90,6 +96,8 @@ impl BenchReport {
             if fit_secs_total > 0.0 { fit_rows as f64 / fit_secs_total } else { 0.0 };
         Self {
             threads,
+            host_threads: std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get),
             wall_secs,
             serial_wall_secs: None,
             rows_per_sec,
@@ -118,6 +126,7 @@ impl BenchReport {
         s.push_str("{\n");
         s.push_str("  \"generator\": \"eval_suite --bench\",\n");
         s.push_str(&format!("  \"threads\": {},\n", self.threads));
+        s.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
         s.push_str(&format!("  \"wall_secs\": {},\n", json_f64(self.wall_secs)));
         match self.serial_wall_secs {
             Some(v) => s.push_str(&format!("  \"serial_wall_secs\": {},\n", json_f64(v))),

@@ -108,9 +108,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(if full { BUDGET_FULL_MB } else { BUDGET_SMOKE_MB });
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let config = if full { ScenarioConfig::huge() } else { ScenarioConfig::huge_smoke() };
     println!(
-        "scale_bench: scenario `{}` ({} users, {} items), {threads} thread(s), budget {budget_mb} MiB",
+        "scale_bench: scenario `{}` ({} users, {} items), {threads} thread(s) on a \
+         {host_threads}-thread host, budget {budget_mb} MiB",
         config.name, config.num_users, config.num_items
     );
 
@@ -296,6 +298,7 @@ fn main() {
     json.push_str(&format!("  \"mode\": \"{}\",\n", if full { "full" } else { "smoke" }));
     json.push_str(&format!("  \"seed\": {SEED},\n"));
     json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"host_threads\": {host_threads},\n"));
     json.push_str(&format!("  \"users\": {},\n", config.num_users));
     json.push_str(&format!("  \"items\": {},\n", config.num_items));
     json.push_str(&format!("  \"rows\": {rows},\n"));

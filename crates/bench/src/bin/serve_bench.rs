@@ -1,0 +1,406 @@
+//! `serve_bench` — the online-serving latency drill.
+//!
+//! Replays deterministic synthetic traffic against the `kgrec_serve`
+//! two-stage pipeline and writes `BENCH_serve.json` next to the other
+//! benchmark artifacts. Four replay phases over the same request trace:
+//!
+//! 1. **uncached** — every request runs the full candidate→rank
+//!    pipeline (cache bypassed): the latency baseline;
+//! 2. **cached_cold** — same trace through the cache, starting empty:
+//!    repeat users hit mid-phase;
+//! 3. **cached_warm** — the trace replayed against the filled cache:
+//!    the steady-state serving profile, and the measured latency win
+//!    over the uncached baseline;
+//! 4. **post_ingest** — an interaction batch is ingested, then the trace
+//!    replays once more: touched users miss (stamp invalidation), the
+//!    rest still hit.
+//!
+//! Then a hot-reload drill: a retrained checkpoint generation must swap
+//! in (`ok`), and a NaN-poisoned generation must be rejected by the
+//! serve-path probe (`degraded`) while serving continues.
+//!
+//! Traffic is partitioned across the `kgrec_linalg::par` pool by user
+//! (`user % threads`), so every user's requests replay in order on one
+//! worker and cache hit counts are exactly reproducible for a fixed
+//! seed and thread count. Result checksums must agree across the
+//! uncached/cold/warm phases — the cache may never change an answer.
+//!
+//! Wall-clock latencies are machine-dependent; everything else in the
+//! artifact (hit rates, checksums, reload labels) is deterministic.
+//!
+//! Exit code 0 = all gates green; 1 = a correctness gate failed
+//! (checksum drift, reload labels, warm-cache speedup); 2 = the p99
+//! latency budget was exceeded.
+//!
+//! Usage: `serve_bench [--smoke|--full] [--threads N] [--requests N]
+//! [--out PATH] [--p99-budget-ms MS]`
+
+use kgrec_bench::threads_from_args;
+use kgrec_core::FitStatus;
+use kgrec_data::synth::generate_streaming;
+use kgrec_data::{Interaction, ItemId, ScenarioConfig, UserId};
+use kgrec_kge::TransE;
+use kgrec_linalg::par::par_map;
+use kgrec_serve::{ServeConfig, ServedModel, Server};
+use kgrec_store::CheckpointStore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write;
+use std::time::Instant;
+
+const SEED: u64 = 2024;
+/// Embedding dimension of the served model (latency-realistic, cheap to
+/// initialize; the drill measures the pipeline, not model quality).
+const DIM: usize = 32;
+/// Committed smoke p99 budget: ~3 orders of magnitude above the
+/// steady-state p99 observed on an unloaded host, so only a real
+/// regression (an allocation or a scan sneaking into the request path)
+/// or a pathological CI host trips it.
+const P99_BUDGET_SMOKE_MS: f64 = 25.0;
+const P99_BUDGET_FULL_MS: f64 = 100.0;
+const REQUESTS_SMOKE: usize = 30_000;
+const REQUESTS_FULL: usize = 300_000;
+/// Zipf-style skew of the traffic: user `⌊U · x^SKEW⌋` for uniform `x`,
+/// concentrating requests on low ids the way production traffic
+/// concentrates on active users.
+const TRAFFIC_SKEW: f64 = 2.0;
+
+/// FNV-1a fold over a top-K slate.
+fn fold_slate(mut h: u64, items: &[ItemId]) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    for v in items {
+        for b in v.0.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+/// Per-phase replay measurements.
+struct PhaseStats {
+    name: &'static str,
+    wall_secs: f64,
+    requests: usize,
+    hits: u64,
+    /// Per-request latencies in nanoseconds, merged across workers.
+    latencies_ns: Vec<u64>,
+    /// Order-independent fold of every served slate.
+    checksum: u64,
+}
+
+impl PhaseStats {
+    fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+
+    fn rps(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.requests as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    fn percentile_us(&self, p: f64) -> f64 {
+        if self.latencies_ns.is_empty() {
+            return 0.0;
+        }
+        let rank = ((self.latencies_ns.len() as f64 * p).ceil() as usize)
+            .clamp(1, self.latencies_ns.len());
+        self.latencies_ns[rank - 1] as f64 / 1000.0
+    }
+}
+
+/// Replays `trace` across `threads` workers partitioned by user id.
+/// `cached == false` bypasses the cache entirely (`compute_fresh`).
+fn replay(
+    name: &'static str,
+    server: &Server,
+    trace: &[UserId],
+    threads: usize,
+    cached: bool,
+) -> PhaseStats {
+    let workers: Vec<usize> = (0..threads.max(1)).collect();
+    let t0 = Instant::now();
+    let per_worker = par_map(&workers, threads, |_, &w| {
+        let mut scratch = server.make_scratch();
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut hits = 0u64;
+        let mut checksum = 0u64;
+        for &user in trace {
+            if user.index() % threads.max(1) != w {
+                continue;
+            }
+            let t = Instant::now();
+            let hit = if cached {
+                server.serve(user, &mut scratch)
+            } else {
+                server.compute_fresh(user, &mut scratch);
+                false
+            };
+            latencies.push(t.elapsed().as_nanos() as u64);
+            hits += u64::from(hit);
+            checksum ^= fold_slate(0xcbf2_9ce4_8422_2325, scratch.top_k());
+        }
+        (latencies, hits, checksum)
+    });
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let mut stats = PhaseStats {
+        name,
+        wall_secs,
+        requests: trace.len(),
+        hits: 0,
+        latencies_ns: Vec::with_capacity(trace.len()),
+        checksum: 0,
+    };
+    // Fixed-order reduction over the worker slots (par_map returns them
+    // in input order); the XOR checksum is additionally order-free, so
+    // it is comparable across thread counts too.
+    for (lat, hits, checksum) in per_worker {
+        stats.latencies_ns.extend_from_slice(&lat);
+        stats.hits += hits;
+        stats.checksum ^= checksum;
+    }
+    stats.latencies_ns.sort_unstable();
+    stats
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn fresh_transe(entities: usize, relations: usize, seed: u64) -> Box<dyn ServedModel> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Box::new(TransE::new(&mut rng, entities, relations, DIM, 1.0))
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let threads = threads_from_args(&args).unwrap_or(4);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(|| "BENCH_serve.json".to_owned(), Clone::clone);
+    let requests: usize = args
+        .iter()
+        .position(|a| a == "--requests")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if full { REQUESTS_FULL } else { REQUESTS_SMOKE });
+    let p99_budget_ms: f64 = args
+        .iter()
+        .position(|a| a == "--p99-budget-ms")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if full { P99_BUDGET_FULL_MS } else { P99_BUDGET_SMOKE_MS });
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let config = if full { ScenarioConfig::huge() } else { ScenarioConfig::huge_smoke() };
+    println!(
+        "serve_bench: scenario `{}` ({} users, {} items), {requests} requests, \
+         {threads} thread(s) on a {host_threads}-thread host",
+        config.name, config.num_users, config.num_items
+    );
+
+    // Dataset + served model. The model is a seeded TransE initialization
+    // over the item KG: serving latency is shape-dependent, not
+    // weight-dependent, and initialization keeps the smoke drill fast.
+    let t0 = Instant::now();
+    let synth = generate_streaming(&config, SEED);
+    let rows = synth.dataset.interactions.num_interactions();
+    let (entities, relations) =
+        (synth.dataset.graph.num_entities(), synth.dataset.graph.num_relations());
+    let model = fresh_transe(entities, relations, SEED ^ 0x5E12);
+    let serve_config = ServeConfig {
+        // Collision-free cache (capacity = users): hit counts depend only
+        // on the trace, never on eviction timing.
+        cache_capacity: config.num_users,
+        cache_shards: 64,
+        ..ServeConfig::default()
+    };
+    let k = serve_config.k;
+    let server = Server::new(synth.dataset, model, serve_config);
+    println!(
+        "  setup: {rows} rows, {entities} entities in {:.2}s (index {:.1} MiB)",
+        t0.elapsed().as_secs_f64(),
+        server.index().memory_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    // Deterministic skewed trace.
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x7AFF);
+    let trace: Vec<UserId> = (0..requests)
+        .map(|_| {
+            let x: f64 = rng.gen::<f64>();
+            UserId((config.num_users as f64 * x.powf(TRAFFIC_SKEW)) as u32)
+        })
+        .collect();
+
+    // Replay phases.
+    let uncached = replay("uncached", &server, &trace, threads, false);
+    let cold = replay("cached_cold", &server, &trace, threads, true);
+    let warm = replay("cached_warm", &server, &trace, threads, true);
+
+    // Ingest a 1%-of-rows batch touching a deterministic user subset,
+    // then replay: only touched users may miss.
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x1A6E);
+    let batch: Vec<Interaction> = (0..(rows / 100).max(1))
+        .map(|_| {
+            Interaction::implicit(
+                UserId(rng.gen_range(0..config.num_users as u32)),
+                ItemId(rng.gen_range(0..config.num_items as u32)),
+            )
+        })
+        .collect();
+    let t0 = Instant::now();
+    server.ingest(&batch);
+    let ingest_secs = t0.elapsed().as_secs_f64();
+    let post_ingest = replay("post_ingest", &server, &trace, threads, true);
+    println!(
+        "  ingest: +{} rows in {ingest_secs:.2}s, replay hit rate {:.3} (warm was {:.3})",
+        batch.len(),
+        post_ingest.hit_rate(),
+        warm.hit_rate()
+    );
+
+    // Hot-reload drill: a retrained generation must swap in, a poisoned
+    // one must be rejected while serving survives.
+    let ckpt_dir = std::env::temp_dir().join(format!("kgrec_serve_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let store = CheckpointStore::open(&ckpt_dir).expect("open checkpoint store");
+    let mut retrained_rng = StdRng::seed_from_u64(SEED ^ 0xBEEF);
+    let retrained = TransE::new(&mut retrained_rng, entities, relations, DIM, 1.0);
+    let good_gen = store.save(&retrained, "retrained").expect("save retrained");
+    let good = server.reload(&store, fresh_transe(entities, relations, 1));
+    let mut poisoned_rng = StdRng::seed_from_u64(SEED ^ 0xDEAD);
+    let mut poisoned = TransE::new(&mut poisoned_rng, entities, relations, DIM, 1.0);
+    let nan_row = [f32::NAN; DIM];
+    for e in 0..entities {
+        poisoned.entity_row_add(kgrec_graph::EntityId(e as u32), &nan_row);
+    }
+    store.save(&poisoned, "poisoned").expect("save poisoned");
+    let bad = server.reload(&store, fresh_transe(entities, relations, 2));
+    let mut scratch = server.make_scratch();
+    server.serve(trace[0], &mut scratch);
+    let serving_survived = !scratch.top_k().is_empty();
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    println!(
+        "  reload: good generation {good_gen} -> {}, poisoned -> {} ({})",
+        good.status.label(),
+        bad.status.label(),
+        bad.reason.as_deref().unwrap_or("no reason"),
+    );
+
+    // Gates.
+    let results_deterministic =
+        uncached.checksum == cold.checksum && cold.checksum == warm.checksum;
+    let reload_ok = matches!(good.status, FitStatus::Ok)
+        && good.generation == Some(good_gen)
+        && matches!(bad.status, FitStatus::Degraded)
+        && serving_survived;
+    let warm_speedup_p50 = {
+        let w = warm.percentile_us(0.50);
+        if w > 0.0 {
+            uncached.percentile_us(0.50) / w
+        } else {
+            f64::INFINITY
+        }
+    };
+    let warm_wins = warm.percentile_us(0.50) < uncached.percentile_us(0.50);
+    let p99_ms = warm.percentile_us(0.99) / 1000.0;
+    let p99_within_budget = p99_ms <= p99_budget_ms;
+    let gates_green = results_deterministic && reload_ok && warm_wins;
+
+    let phases = [&uncached, &cold, &warm, &post_ingest];
+    for p in phases {
+        println!(
+            "  {}: p50 {:.1}us p99 {:.1}us, {:.0} req/s, hit rate {:.3}, checksum {:016x}",
+            p.name,
+            p.percentile_us(0.50),
+            p.percentile_us(0.99),
+            p.rps(),
+            p.hit_rate(),
+            p.checksum
+        );
+    }
+    println!(
+        "  gates: deterministic={results_deterministic} reload={reload_ok} \
+         warm_speedup_p50={warm_speedup_p50:.1}x p99 {p99_ms:.3}ms of {p99_budget_ms}ms budget"
+    );
+
+    // Artifact.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"generator\": \"serve_bench\",\n");
+    json.push_str(&format!("  \"scenario\": \"{}\",\n", config.name));
+    json.push_str(&format!("  \"mode\": \"{}\",\n", if full { "full" } else { "smoke" }));
+    json.push_str(&format!("  \"seed\": {SEED},\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+    json.push_str(&format!("  \"users\": {},\n", config.num_users));
+    json.push_str(&format!("  \"items\": {},\n", config.num_items));
+    json.push_str(&format!("  \"rows\": {rows},\n"));
+    json.push_str(&format!("  \"requests\": {requests},\n"));
+    json.push_str(&format!("  \"k\": {k},\n"));
+    json.push_str(&format!("  \"cache_capacity\": {},\n", config.num_users));
+    json.push_str(&format!("  \"ingest_batch_rows\": {},\n", batch.len()));
+    json.push_str(&format!("  \"ingest_secs\": {},\n", json_f64(ingest_secs)));
+    json.push_str("  \"phases\": {\n");
+    for (i, p) in phases.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{ \"wall_secs\": {}, \"requests\": {}, \"rps\": {}, \
+             \"p50_us\": {}, \"p99_us\": {}, \"hit_rate\": {}, \"checksum\": \"{:016x}\" }}{}\n",
+            p.name,
+            json_f64(p.wall_secs),
+            p.requests,
+            json_f64(p.rps()),
+            json_f64(p.percentile_us(0.50)),
+            json_f64(p.percentile_us(0.99)),
+            json_f64(p.hit_rate()),
+            p.checksum,
+            if i + 1 == phases.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!("  \"warm_speedup_p50\": {},\n", json_f64(warm_speedup_p50)));
+    json.push_str("  \"reload\": {\n");
+    json.push_str(&format!("    \"good\": \"{}\",\n", good.status.label()));
+    json.push_str(&format!(
+        "    \"good_generation\": {},\n",
+        good.generation.map_or_else(|| "null".to_owned(), |g| g.to_string())
+    ));
+    json.push_str(&format!("    \"bad\": \"{}\",\n", bad.status.label()));
+    json.push_str(&format!(
+        "    \"bad_reason\": {},\n",
+        bad.reason
+            .as_deref()
+            .map_or_else(|| "null".to_owned(), |r| format!("\"{}\"", r.replace('"', "'")))
+    ));
+    json.push_str(&format!("    \"serving_survived\": {serving_survived}\n"));
+    json.push_str("  },\n");
+    json.push_str(&format!("  \"results_deterministic\": {results_deterministic},\n"));
+    json.push_str(&format!("  \"p99_budget_ms\": {},\n", json_f64(p99_budget_ms)));
+    json.push_str(&format!("  \"p99_within_budget\": {p99_within_budget},\n"));
+    json.push_str(&format!("  \"gates_green\": {}\n", gates_green && p99_within_budget));
+    json.push_str("}\n");
+    let mut f = std::fs::File::create(&out_path).expect("create BENCH_serve.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_serve.json");
+    println!("serve_bench: wrote {out_path}");
+
+    if !p99_within_budget {
+        std::process::exit(2);
+    }
+    if !gates_green {
+        std::process::exit(1);
+    }
+}

@@ -10,6 +10,7 @@
 //! | `SA005` | warning | data, graph | truncating `as u32`/`u16`/`u8` casts on id spaces |
 //! | `SA006` | warning | models, kge | `unwrap`/`expect` inside `supervise_fit`-covered fit paths |
 //! | `SA007` | error | store, kge, models, core | direct `File::create`/`fs::write` in persistence paths — use the atomic writer |
+//! | `SA008` | error | serve | heap allocation inside serving request-path functions (`serve`/`rank_candidates`/`candidates_for`) — use the `ServeScratch` arena |
 //! | `MD006` | warning | models, kge | allocating vector ops inside epoch loops (lexer-accurate port) |
 //!
 //! `SA000` (unused or malformed `kglint::allow`) is emitted by the
@@ -60,6 +61,7 @@ pub fn src_rules() -> Vec<Box<dyn SrcRule>> {
         Box::new(TruncatingIdCast),
         Box::new(FitPathUnwrap),
         Box::new(RawPersistenceWrite),
+        Box::new(ServePathAllocation),
         Box::new(EpochAllocation),
     ]
 }
@@ -491,6 +493,82 @@ impl SrcRule for RawPersistenceWrite {
                         "`{call}` in a persistence path — a crash mid-write leaves a torn \
                          file where a reader expects a snapshot; use \
                          `kgrec_store::atomic::write_atomic` (temp + fsync + rename)",
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// `SA008` — heap allocation on the serving request path.
+///
+/// The two-stage serving pipeline promises allocation-free steady-state
+/// requests: every buffer a request needs lives in the reusable
+/// per-worker `kgrec_serve::ServeScratch` arena, sized once at startup.
+/// An allocation that sneaks into the request path shows up as tail
+/// latency (and, under load, allocator contention) that no unit test
+/// catches. Covered functions — closures included — are the request
+/// path proper: `serve`, `rank_candidates`, and `candidates_for`.
+/// Setup, ingest, and reload code in the same crate may allocate
+/// freely. A provably-amortized allocation (e.g. a grow-once path)
+/// can be waived with `kglint::allow(SA008, reason)`.
+pub struct ServePathAllocation;
+
+/// Whether `name` is one of the request-path functions SA008 covers.
+fn covered_serve_fn(name: &str) -> bool {
+    name == "serve" || name == "rank_candidates" || name == "candidates_for"
+}
+
+impl SrcRule for ServePathAllocation {
+    fn code(&self) -> &'static str {
+        "SA008"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn summary(&self) -> &'static str {
+        "heap allocation inside a serving request-path function — pre-size the buffer in \
+         ServeScratch instead"
+    }
+    fn scopes(&self) -> &'static [&'static str] {
+        &["crates/serve/"]
+    }
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let toks = &file.tokens;
+        let mut out = Vec::new();
+        for (i, tok) in toks.iter().enumerate() {
+            if file.cx.in_test[i] || tok.kind != TokKind::Ident {
+                continue;
+            }
+            let Some(f) = file.cx.fn_of[i] else { continue };
+            if !covered_serve_fn(&file.cx.fns[f]) {
+                continue;
+            }
+            let ctor = matches!(tok.text.as_str(), "Vec" | "String" | "Box")
+                && punct_is(toks, i + 1, "::")
+                && ident_is(toks, i + 2, "new");
+            let mac = matches!(tok.text.as_str(), "vec" | "format") && punct_is(toks, i + 1, "!");
+            let method =
+                matches!(tok.text.as_str(), "to_vec" | "collect" | "to_string" | "to_owned")
+                    && punct_is(toks, i + 1, "(");
+            if ctor || mac || method {
+                let call = if ctor {
+                    format!("{}::new()", tok.text)
+                } else if mac {
+                    format!("{}!", tok.text)
+                } else {
+                    format!(".{}()", tok.text)
+                };
+                out.push(diag(
+                    self,
+                    file,
+                    tok.line,
+                    format!(
+                        "`{call}` allocates inside `fn {}` on the serving request path — \
+                         pre-size the buffer in `ServeScratch` (or waive a provably-amortized \
+                         allocation with a reasoned `kglint::allow`)",
+                        file.cx.fns[f]
                     ),
                 ));
             }

@@ -211,6 +211,70 @@ fn sa007_is_silent_outside_persistence_paths_and_for_reads() {
     assert!(scan_source("crates/store/src/fixture.rs", reads).is_empty());
 }
 
+// ---------------------------------------------------------------- SA008
+
+#[test]
+fn sa008_allocation_in_request_path_functions() {
+    let src = "fn candidates_for(scratch: &mut ServeScratch) {\n\
+               let extra: Vec<u32> = Vec::new();\n\
+               let ids = slate.to_vec();\n\
+               }\n\
+               fn rank_candidates(scratch: &mut ServeScratch) {\n\
+               let scored: Vec<f32> = cands.iter().map(score).collect();\n\
+               }\n\
+               fn serve(user: UserId) {\n\
+               let label = format!(\"user {user}\");\n\
+               let buf = vec![0.0f32; dim];\n\
+               }\n";
+    let diags = scan_source("crates/serve/src/fixture.rs", src);
+    assert_eq!(
+        located(&diags),
+        [("SA008", 2), ("SA008", 3), ("SA008", 6), ("SA008", 9), ("SA008", 10)],
+        "{diags:?}"
+    );
+    assert!(diags.iter().all(|d| d.severity == Severity::Error));
+    assert!(diags[0].message.contains("ServeScratch"), "{}", diags[0].message);
+}
+
+#[test]
+fn sa008_covers_closures_inside_request_path_functions() {
+    let src = "fn serve(users: &[UserId]) {\n\
+               let slates = par_map(users, threads, |_, u| {\n\
+               scratch.top_k().to_vec()\n\
+               });\n\
+               }\n";
+    let diags = scan_source("crates/serve/src/fixture.rs", src);
+    assert_eq!(located(&diags), [("SA008", 3)], "{diags:?}");
+}
+
+#[test]
+fn sa008_is_silent_off_the_request_path() {
+    // Setup/ingest/reload code in the serve crate may allocate freely,
+    // and the same tokens outside the serve crate are someone else's
+    // business.
+    let src = "fn build_index(graph: &KnowledgeGraph) -> Vec<u32> {\n\
+               let mut rev: Vec<u32> = Vec::new();\n\
+               graph.items().collect()\n\
+               }\n\
+               fn ingest(rows: &[Interaction]) {\n\
+               let copy = rows.to_vec();\n\
+               }\n";
+    assert!(scan_source("crates/serve/src/fixture.rs", src).is_empty());
+    let on_path = "fn serve(u: UserId) { let v = Vec::new(); }\n";
+    assert!(scan_source("crates/models/src/fixture.rs", on_path).is_empty());
+}
+
+#[test]
+fn sa008_documented_allow_is_the_escape_hatch() {
+    let src = "fn rank_candidates(scratch: &mut ServeScratch) {\n\
+               // kglint::allow(SA008, grow-once: reserve hits capacity after the first request)\n\
+               let scored: Vec<f32> = cands.iter().map(score).collect();\n\
+               }\n";
+    let report = scan_source_report("crates/serve/src/fixture.rs", src);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.suppressed, 1);
+}
+
 // ---------------------------------------------------------------- MD006
 
 #[test]

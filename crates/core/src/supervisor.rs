@@ -133,21 +133,28 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Probes a deterministic grid of scores; NaN or +∞ is a
-/// [`CoreError::NonFinite`], a panic while scoring is a
-/// [`CoreError::Panicked`]. `-∞` passes: the workspace convention for
-/// "never recommend this item".
-fn probe_scores(
-    model: &dyn Recommender,
-    train: &InteractionMatrix,
-    config: &SupervisorConfig,
+/// Probes a deterministic `users × items` grid of scores under panic
+/// isolation; NaN or +∞ is a [`CoreError::NonFinite`], a panic while
+/// scoring is a [`CoreError::Panicked`]. `-∞` passes: the workspace
+/// convention for "never recommend this item".
+///
+/// Public because the supervisor's validation semantics apply beyond
+/// `fit`: the serving layer runs the same grid through its own scorer
+/// before hot-swapping a reloaded model, so a checkpoint that loads
+/// cleanly but scores garbage is rejected with the same vocabulary.
+///
+/// # Errors
+/// [`CoreError::NonFinite`] on the first NaN/+∞ score,
+/// [`CoreError::Panicked`] if `score` panics.
+pub fn probe_grid(
+    users: usize,
+    items: usize,
+    mut score: impl FnMut(usize, usize) -> f32,
 ) -> Result<(), CoreError> {
-    let users = train.num_users().min(config.probe_users);
-    let items = train.num_items().min(model.num_items()).min(config.probe_items);
     let probed = catch_unwind(AssertUnwindSafe(|| {
         for u in 0..users {
             for i in 0..items {
-                let s = model.score(UserId(u as u32), ItemId(i as u32));
+                let s = score(u, i);
                 if s.is_nan() || s == f32::INFINITY {
                     return Err(CoreError::NonFinite {
                         context: format!("score(user {u}, item {i}) = {s}"),
@@ -163,6 +170,18 @@ fn probe_scores(
             message: format!("while scoring: {}", panic_message(payload.as_ref())),
         }),
     }
+}
+
+/// [`probe_grid`] specialized to a recommender over a training matrix —
+/// the post-`fit` health check.
+fn probe_scores(
+    model: &dyn Recommender,
+    train: &InteractionMatrix,
+    config: &SupervisorConfig,
+) -> Result<(), CoreError> {
+    let users = train.num_users().min(config.probe_users);
+    let items = train.num_items().min(model.num_items()).min(config.probe_items);
+    probe_grid(users, items, |u, i| model.score(UserId(u as u32), ItemId(i as u32)))
 }
 
 /// Trains `model` under supervision; see the module docs for the policy.

@@ -300,20 +300,29 @@ pub fn argmax(x: &[f32]) -> Option<usize> {
 /// comparator lawless for the full sort too — upstream NaN probes keep
 /// them out of ranking.)
 pub fn top_k_indices(x: &[f32], k: usize) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..x.len()).collect();
+    let mut idx = Vec::new();
+    top_k_into(x, k, &mut idx);
+    idx
+}
+
+/// [`top_k_indices`] into a caller-owned index buffer: `idx` is cleared
+/// and refilled, so a reused buffer makes repeated selection
+/// allocation-free once its capacity has grown to `x.len()`. Identical
+/// selection and tie-break order to [`top_k_indices`].
+pub fn top_k_into(x: &[f32], k: usize, idx: &mut Vec<usize>) {
+    idx.clear();
+    if k == 0 {
+        return;
+    }
+    idx.extend(0..x.len());
     let by_score_desc = |a: &usize, b: &usize| {
         x[*b].partial_cmp(&x[*a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(b))
     };
-    if k == 0 {
-        idx.clear();
-        return idx;
-    }
     if k < idx.len() {
         idx.select_nth_unstable_by(k - 1, by_score_desc);
         idx.truncate(k);
     }
     idx.sort_unstable_by(by_score_desc);
-    idx
 }
 
 #[cfg(test)]
@@ -472,6 +481,19 @@ mod tests {
     fn top_k_deterministic_ties() {
         let idx = top_k_indices(&[1.0, 3.0, 3.0, 2.0], 3);
         assert_eq!(idx, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn top_k_into_matches_allocating_version_and_reuses_buffer() {
+        let x = [1.0f32, 3.0, 3.0, 2.0, -1.0, 0.5];
+        let mut idx = Vec::new();
+        for k in 0..=x.len() + 1 {
+            top_k_into(&x, k, &mut idx);
+            assert_eq!(idx, top_k_indices(&x, k), "k={k}");
+        }
+        let cap = idx.capacity();
+        top_k_into(&x, 2, &mut idx);
+        assert_eq!(idx.capacity(), cap, "warm buffer must not reallocate");
     }
 
     #[test]

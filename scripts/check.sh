@@ -63,4 +63,18 @@ else
 fi
 test -s BENCH_scale.json || { echo "FAIL: BENCH_scale.json missing"; exit 1; }
 
+echo "== serve bench (two-stage pipeline, cache, reload drill, p99 budget)"
+# Every push replays smoke traffic (30k requests, 20k users) with a hard
+# p99 latency budget baked into the binary (exit 2 on breach). The full
+# 1M-user replay runs behind KGREC_SERVE_FULL=1 next to the scale drill.
+# Gates: checksums identical across uncached/cached phases, hot reload
+# accepts a good generation and degrades on a poisoned one, warm cache
+# beats the uncached pipeline at p50.
+if [ "${KGREC_SERVE_FULL:-0}" = "1" ]; then
+  cargo run --release -p kgrec-bench --bin serve_bench -- --full --threads 4 --out BENCH_serve.json
+else
+  cargo run --release -p kgrec-bench --bin serve_bench -- --threads 4 --out BENCH_serve.json
+fi
+test -s BENCH_serve.json || { echo "FAIL: BENCH_serve.json missing"; exit 1; }
+
 echo "OK: all checks passed"
